@@ -1,0 +1,20 @@
+.PHONY: install test bench reproduce examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+reproduce:
+	python -m repro reproduce
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf benchmarks/reports src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

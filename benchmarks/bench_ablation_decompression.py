@@ -1,0 +1,56 @@
+"""Ablation — is the paper right to ignore decompression time?
+
+Section IV-A1: "we omit the time consumption of decompression because the
+decompression is much faster than compression."  We account receiver-side
+decompression per flow and measure how much it would add to FVDF's FCT —
+quantifying the omission instead of assuming it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentSetup, render_table, run_policy
+from repro.units import mbps
+from workloads import coflow_trace
+
+CODECS = ["lz4", "snappy", "zstd"]
+
+
+def run_all():
+    workload = coflow_trace(seed=14)
+    table = {}
+    for codec in CODECS:
+        setup = ExperimentSetup(
+            num_ports=16, bandwidth=mbps(100), slice_len=0.01, codec=codec
+        )
+        res = run_policy("fvdf", workload, setup)
+        fct = np.asarray([f.fct for f in res.flow_results])
+        fct_d = np.asarray([f.fct_with_decompression for f in res.flow_results])
+        table[codec] = {
+            "avg_fct": float(fct.mean()),
+            "avg_fct_decomp": float(fct_d.mean()),
+            "overhead": float(fct_d.mean() / fct.mean() - 1.0),
+        }
+    return table
+
+
+def test_ablation_decompression(once, report):
+    table = once(run_all)
+    rows = [
+        [codec, d["avg_fct"], d["avg_fct_decomp"], f"{d['overhead'] * 100:.2f}%"]
+        for codec, d in table.items()
+    ]
+    report(
+        "ablation_decompression",
+        render_table(
+            ["codec", "avg FCT (s)", "avg FCT + decompression (s)",
+             "overhead"],
+            rows,
+            title="Ablation — receiver-side decompression overhead",
+        ),
+    )
+    # The paper's omission is justified: decompression adds <5% to FCT for
+    # every codec at 100 Mbps.
+    for codec, d in table.items():
+        assert d["overhead"] < 0.05, codec
+        assert d["avg_fct_decomp"] >= d["avg_fct"]

@@ -1,0 +1,70 @@
+"""Micro-benchmarks — engine and allocation-primitive throughput.
+
+True pytest-benchmark usage (multiple rounds): how fast the simulator
+retires flows and how the water-filling/greedy primitives scale.  These
+guard against performance regressions in the hot paths the HPC guides
+call out (vectorised volume integration, progressive filling).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentSetup, run_policy
+from repro.core import rate_allocation as ra
+from repro.traces.distributions import LogNormalSizes
+from repro.traces.generator import WorkloadConfig, generate_workload
+from repro.units import MB, mbps
+
+N_FLOWS = 2000
+N_PORTS = 64
+
+
+@pytest.fixture(scope="module")
+def flowset():
+    rng = np.random.default_rng(0)
+    src = rng.integers(0, N_PORTS, N_FLOWS)
+    dst = rng.integers(0, N_PORTS, N_FLOWS)
+    caps = np.full(N_PORTS, 100.0)
+    return src, dst, caps
+
+
+def test_maxmin_fair_speed(benchmark, flowset):
+    src, dst, caps = flowset
+    rates = benchmark(lambda: ra.maxmin_fair(src, dst, caps.copy(), caps.copy()))
+    assert rates.sum() > 0
+
+
+def test_greedy_priority_speed(benchmark, flowset):
+    src, dst, caps = flowset
+    order = np.arange(N_FLOWS)
+    rates = benchmark(
+        lambda: ra.greedy_priority(order, src, dst, caps.copy(), caps.copy())
+    )
+    assert rates.sum() > 0
+
+
+def test_madd_speed(benchmark, flowset):
+    src, dst, caps = flowset
+    vol = np.linspace(1.0, 50.0, N_FLOWS)
+    groups = [np.arange(i, N_FLOWS, 20) for i in range(20)]
+    rates = benchmark(
+        lambda: ra.madd(groups, src, dst, vol, caps.copy(), caps.copy())
+    )
+    assert rates.sum() > 0
+
+
+def test_simulator_throughput(benchmark):
+    """End-to-end: 200 coflows / ~600 flows through SEBF."""
+    cfg = WorkloadConfig(
+        num_coflows=200,
+        num_ports=32,
+        size_dist=LogNormalSizes(median=4 * MB, sigma=1.0, lo=256 * 1024, hi=64 * MB),
+        width=(1, 5),
+        arrival_rate=10.0,
+    )
+    workload = generate_workload(cfg, np.random.default_rng(3))
+    setup = ExperimentSetup(num_ports=32, bandwidth=mbps(200), slice_len=0.01)
+    res = benchmark.pedantic(
+        lambda: run_policy("sebf", workload, setup), rounds=1, iterations=1
+    )
+    assert len(res.coflow_results) == 200

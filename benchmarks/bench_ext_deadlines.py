@@ -1,0 +1,101 @@
+"""Extension — deadline guarantees: EDF with vs without admission control.
+
+Varys' deadline mode (which Swallow inherits the machinery for but never
+evaluates): admit a coflow only if its minimum finishing rates fit the
+residual fabric, then hold exactly those rates.  Under overload, admission
+control should keep the *admitted* coflows' deadline-met fraction near 1,
+while EDF-without-admission lets everyone slip; FVDF/SEBF (deadline-blind)
+provide the context.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentSetup, render_table, run_policy
+from repro.core.coflow import Coflow
+from repro.core.flow import Flow
+from repro.schedulers import DeadlineEDF, deadline_stats, make_scheduler
+from repro.traces.distributions import LogNormalSizes
+from repro.units import KB, MB, mbps
+
+NUM_PORTS = 8
+SETUP = ExperimentSetup(num_ports=NUM_PORTS, bandwidth=mbps(100), slice_len=0.01)
+
+
+def deadline_workload(seed=5, n=40, tightness=1.3, mean_gap=0.25):
+    """Genuinely overloaded deadline workload: tight deadlines (1.3x each
+    coflow's solo bottleneck time) and fast arrivals, so not everyone can
+    make it and admission has real decisions to take."""
+    rng = np.random.default_rng(seed)
+    sizes = LogNormalSizes(median=8 * MB, sigma=1.0, lo=512 * KB, hi=64 * MB)
+    coflows = []
+    t = 0.0
+    for k in range(n):
+        width = int(rng.integers(1, 4))
+        flows = [
+            Flow(int(rng.integers(0, NUM_PORTS)), int(rng.integers(0, NUM_PORTS)),
+                 float(s))
+            for s in sizes.sample(rng, width)
+        ]
+        c = Coflow(flows, arrival=t, label=f"d{k}")
+        # deadline = tightness x the coflow's solo bottleneck time
+        solo = c.bottleneck_load(
+            np.full(NUM_PORTS, SETUP.bandwidth), np.full(NUM_PORTS, SETUP.bandwidth)
+        )
+        coflows.append(
+            Coflow(flows=[Flow(f.src, f.dst, f.size) for f in flows],
+                   arrival=t, label=f"d{k}", deadline=solo * tightness)
+        )
+        t += float(rng.exponential(mean_gap))
+    return coflows
+
+
+def run_all():
+    out = {}
+    for name in ["edf-deadline", "edf-noadmission", "sebf", "fvdf"]:
+        res = run_policy(name, deadline_workload(), SETUP)
+        stats = deadline_stats(res.coflow_results)
+        out[name] = {
+            "met_fraction": stats["met_fraction"],
+            "avg_cct": res.avg_cct,
+        }
+    # Admitted-only success rate for the admission policy.
+    sched = DeadlineEDF()
+    res = run_policy(sched, deadline_workload(), SETUP)
+    admitted = [
+        c for c in res.coflow_results if sched.was_admitted(c.coflow_id)
+    ]
+    out["edf-deadline"]["admitted"] = len(admitted)
+    out["edf-deadline"]["admitted_met"] = (
+        sum(1 for c in admitted if c.met_deadline) / len(admitted)
+        if admitted else 1.0
+    )
+    return out
+
+
+def test_ext_deadlines(once, report):
+    out = once(run_all)
+    rows = [
+        [name, f"{d['met_fraction'] * 100:.1f}%", d["avg_cct"]]
+        for name, d in out.items()
+    ]
+    text = render_table(
+        ["policy", "deadlines met (all)", "avg CCT (s)"], rows,
+        title="Extension — deadline-aware scheduling under overload",
+    )
+    text += (
+        f"\n\nadmission policy: {out['edf-deadline']['admitted']} admitted, "
+        f"{out['edf-deadline']['admitted_met'] * 100:.1f}% of admitted met "
+        "their deadline"
+    )
+    report("ext_deadlines", text)
+    # The headline guarantee: every admitted coflow meets its deadline.
+    assert out["edf-deadline"]["admitted_met"] >= 0.99
+    # Admission control beats unconditional EDF on overall met fraction:
+    # unguarded EDF lets everyone slip under overload.
+    assert out["edf-deadline"]["met_fraction"] > out["edf-noadmission"]["met_fraction"]
+    # Observation worth reporting: deadline-*blind* FVDF meets more
+    # deadlines overall than conservative admission here — compression
+    # simply finishes coflows early.  (Guarantees vs. throughput tradeoff:
+    # only admission gives the 100%-of-admitted property.)
+    assert out["fvdf"]["met_fraction"] >= out["sebf"]["met_fraction"] - 0.05

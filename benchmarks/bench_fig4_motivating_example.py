@@ -1,0 +1,43 @@
+"""Fig. 4 — the motivating example: avg FCT/CCT of six policies.
+
+Paper values: PFF 4.6/5.5, WSS 5.2/6, FIFO 4.4/5.5, PFP 3.8/5.5,
+SEBF 4/4.5, FVDF 2.8/3.25 (time units).  Baselines must match exactly.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.scenarios import FIG4_PAPER_NUMBERS, run_motivating_example
+from repro.schedulers import make_scheduler
+
+POLICIES = ["pff", "wss", "fifo", "pfp", "sebf", "fvdf"]
+
+
+def run_all():
+    return {name: run_motivating_example(make_scheduler(name)) for name in POLICIES}
+
+
+def test_fig4_motivating_example(once, report):
+    results = once(run_all)
+    rows = []
+    for name in POLICIES:
+        res = results[name]
+        p_fct, p_cct = FIG4_PAPER_NUMBERS[name]
+        rows.append([name, res.avg_fct, p_fct, res.avg_cct, p_cct])
+    report(
+        "fig4_motivating_example",
+        render_table(
+            ["policy", "avg FCT", "paper FCT", "avg CCT", "paper CCT"],
+            rows,
+            title="Fig. 4 — motivating example (time units)",
+        ),
+    )
+    # Exact reproduction for the closed-form baselines.
+    for name in ["pff", "wss", "fifo", "pfp", "sebf"]:
+        p_fct, p_cct = FIG4_PAPER_NUMBERS[name]
+        assert results[name].avg_fct == pytest.approx(p_fct, abs=1e-9)
+        assert results[name].avg_cct == pytest.approx(p_cct, abs=1e-9)
+    # FVDF: the paper's qualitative claim and its approximate numbers.
+    assert results["fvdf"].avg_cct < results["sebf"].avg_cct
+    assert results["fvdf"].avg_fct < results["sebf"].avg_fct
+    assert results["fvdf"].avg_cct == pytest.approx(3.25, rel=0.2)

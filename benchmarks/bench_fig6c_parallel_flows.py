@@ -1,0 +1,46 @@
+"""Fig. 6(c) — average-FCT improvement vs number of parallel flows.
+
+Paper: across three magnitudes of parallel-flow counts, FVDF always
+outperforms SRTF, FIFO and FAIR.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentSetup, render_table, run_many
+from repro.units import mbps
+from workloads import parallel_batch
+
+POLICIES = ["srtf", "fifo", "fair", "fvdf-flow"]
+COUNTS = [30, 100, 300]
+SETUP = ExperimentSetup(num_ports=12, bandwidth=mbps(200), slice_len=0.01)
+
+
+def run_all():
+    table = {}
+    for n in COUNTS:
+        workload = parallel_batch(seed=n, num_flows=n)
+        results = run_many(POLICIES, workload, SETUP)
+        ours = results["fvdf-flow"].avg_fct
+        table[n] = {
+            base: results[base].avg_fct / ours for base in ["srtf", "fifo", "fair"]
+        }
+    return table
+
+
+def test_fig6c_parallel_flows(once, report):
+    table = once(run_all)
+    rows = [
+        [n, table[n]["srtf"], table[n]["fifo"], table[n]["fair"]] for n in COUNTS
+    ]
+    report(
+        "fig6c_parallel_flows",
+        render_table(
+            ["parallel flows", "speedup vs SRTF", "vs FIFO", "vs FAIR"], rows,
+            title="Fig. 6(c) — avg-FCT improvement vs number of parallel flows",
+        ),
+    )
+    # FVDF outperforms the three baselines at every magnitude.
+    for n in COUNTS:
+        assert table[n]["srtf"] >= 1.0, n
+        assert table[n]["fifo"] > 1.0, n
+        assert table[n]["fair"] > 1.0, n

@@ -1,0 +1,61 @@
+"""Table II — compression parameters of the five codecs.
+
+Reports the registry (the paper's measured speeds/ratios, which the
+scheduler consumes) plus a live measurement of a real stdlib codec on
+synthetic shuffle-like data, and asserts the Eq. 3 decision boundary that
+drives all of Swallow's behaviour: LZ4 beats a 1 GbE link but not 10 GbE.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.compression.calibrate import calibrated_codec
+from repro.compression.codecs import TABLE_II
+from repro.units import MB, gbps, mbps, rate_to_human
+
+
+def run():
+    rows = []
+    for name in ["lz4", "lzo", "snappy", "lzf", "zstd"]:
+        c = TABLE_II[name]
+        rows.append([
+            c.name,
+            rate_to_human(c.speed * 8 / 8),
+            rate_to_human(c.decompression_speed),
+            f"{c.ratio * 100:.2f}%",
+            rate_to_human(c.disposal_speed),
+        ])
+    live = calibrated_codec("zlib", size=2 * int(MB))
+    rows.append([
+        live.name,
+        rate_to_human(live.speed),
+        rate_to_human(live.decompression_speed),
+        f"{live.ratio * 100:.2f}%",
+        rate_to_human(live.disposal_speed),
+    ])
+    return rows, live
+
+
+def test_table2_codecs(once, report):
+    rows, live = once(run)
+    report(
+        "table2_codecs",
+        render_table(
+            ["codec", "compression", "decompression", "ratio",
+             "disposal speed R(1-ξ)"],
+            rows,
+            title="Table II — compression parameters of flows",
+        ),
+    )
+    # Decompression is faster than compression for every codec (the paper's
+    # justification for ignoring decompression time).
+    for c in TABLE_II.values():
+        assert c.decompression_speed > c.speed
+    # Eq. 3 boundary: worthwhile at <=1 GbE, not at 10 GbE (for every codec).
+    for c in TABLE_II.values():
+        assert c.beats_bandwidth(mbps(100))
+        assert not c.beats_bandwidth(gbps(10))
+    assert TABLE_II["lz4"].beats_bandwidth(gbps(1))
+    # The live codec round-trips and produces sane parameters.
+    assert 0.02 <= live.ratio <= 0.98
+    assert live.speed > 0

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once (via ``benchmark.pedantic(..., rounds=1)`` — these are
+simulations, not microbenchmarks), prints the paper-style report, saves it
+under ``benchmarks/reports/`` and asserts the paper's qualitative claims
+(who wins, by roughly what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def report():
+    """Save a report under benchmarks/reports/<name>.txt and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        REPORTS_DIR.mkdir(exist_ok=True)
+        path = REPORTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture
+def figure():
+    """Save an SVG figure under benchmarks/reports/<name>.svg."""
+
+    def _save(name: str, svg: str) -> None:
+        REPORTS_DIR.mkdir(exist_ok=True)
+        path = REPORTS_DIR / f"{name}.svg"
+        path.write_text(svg)
+        print(f"[figure saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,67 @@
+"""Shared workload builders for the benchmark suite (not a test module).
+
+Centralises the trace parameters so the Fig. 6 benches compare policies on
+consistent workloads.  Sizes follow the paper's own simulation traces
+("dozens of kilobytes or several megabytes", Section VI-A1), scaled so that
+typical flows span multiple 10 ms slices at the default bandwidths.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.coflow import Coflow
+from repro.traces.distributions import LogNormalSizes
+from repro.traces.generator import (
+    WorkloadConfig,
+    generate_flow_workload,
+    generate_workload,
+)
+from repro.units import KB, MB
+
+#: Flow sizes for the trace-driven experiments.
+TRACE_SIZES = LogNormalSizes(median=8 * MB, sigma=1.3, lo=64 * KB, hi=256 * MB)
+
+
+def flow_trace(
+    seed: int = 0, num_flows: int = 300, num_ports: int = 12, rate: float = 20.0
+) -> List[Coflow]:
+    """Singleton-coflow trace for the flow-level experiments (Fig. 6a–d)."""
+    cfg = WorkloadConfig(
+        num_coflows=num_flows,
+        num_ports=num_ports,
+        size_dist=TRACE_SIZES,
+        width=1,
+        arrival_rate=rate,
+    )
+    return generate_flow_workload(cfg, np.random.default_rng(seed))
+
+
+def coflow_trace(
+    seed: int = 0, num_coflows: int = 40, num_ports: int = 16, rate: float = 2.0
+) -> List[Coflow]:
+    """Coflow trace for the coflow-level experiments (Fig. 6e–f, Table VI)."""
+    cfg = WorkloadConfig(
+        num_coflows=num_coflows,
+        num_ports=num_ports,
+        size_dist=TRACE_SIZES,
+        width=(1, 8),
+        arrival_rate=rate,
+    )
+    return generate_workload(cfg, np.random.default_rng(seed))
+
+
+def parallel_batch(
+    seed: int, num_flows: int, num_ports: int = 12
+) -> List[Coflow]:
+    """``num_flows`` flows all arriving at t=0 (the Fig. 6c sweep)."""
+    cfg = WorkloadConfig(
+        num_coflows=num_flows,
+        num_ports=num_ports,
+        size_dist=TRACE_SIZES,
+        width=1,
+        arrival_rate=None,
+    )
+    return generate_flow_workload(cfg, np.random.default_rng(seed))

@@ -1,0 +1,61 @@
+"""Collate benchmark reports into one REPORT.md.
+
+After ``pytest benchmarks/ --benchmark-only`` (or ``python -m repro
+reproduce``), every experiment leaves a text report (and some an SVG
+figure) under ``benchmarks/reports/``.  This module stitches them into a
+single reviewable document, ordered by the experiment registry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS
+
+_HEADER = """\
+# Reproduction report
+
+Generated from `benchmarks/reports/` — one section per paper table/figure
+(see EXPERIMENTS.md for paper-vs-measured commentary and
+`repro/experiments.py` for the registry).
+"""
+
+
+def collate_reports(
+    reports_dir: Path, dest: Optional[Path] = None
+) -> str:
+    """Assemble REPORT.md from the per-experiment report files.
+
+    Experiments without a report file yet are listed as pending.
+    """
+    reports_dir = Path(reports_dir)
+    if not reports_dir.is_dir():
+        raise ConfigurationError(f"{reports_dir} is not a directory")
+    sections: List[str] = [_HEADER]
+    seen = set()
+    for exp in EXPERIMENTS.values():
+        stem = exp.bench.replace("bench_", "").replace(".py", "")
+        candidates = sorted(reports_dir.glob(f"{stem}*.txt"))
+        sections.append(f"\n## {exp.exp_id} — {exp.title}\n")
+        sections.append(f"*workload:* {exp.workload}\n")
+        if not candidates:
+            sections.append("*(pending — run `python -m repro reproduce`)*\n")
+            continue
+        for path in candidates:
+            seen.add(path.name)
+            sections.append("```\n" + path.read_text().rstrip() + "\n```\n")
+        for fig in sorted(reports_dir.glob(f"{stem}*.svg")):
+            sections.append(f"![{exp.exp_id}]({fig.name})\n")
+    extras = sorted(
+        p.name for p in reports_dir.glob("*.txt") if p.name not in seen
+    )
+    if extras:
+        sections.append("\n## Unregistered reports\n")
+        for name in extras:
+            sections.append(f"* {name}\n")
+    text = "\n".join(sections)
+    if dest is not None:
+        Path(dest).write_text(text)
+    return text

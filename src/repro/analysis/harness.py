@@ -1,0 +1,110 @@
+"""Experiment harness: run workloads under many policies, compare results.
+
+Every benchmark in ``benchmarks/`` boils down to "run this workload under
+these schedulers on this fabric and report a metric" — this module is that
+loop.  Workloads (lists of :class:`~repro.core.coflow.Coflow`) are read-only
+to the engine, so one workload can be replayed under every policy for a
+perfectly paired comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.compression.engine import CompressionEngine
+from repro.core.coflow import Coflow
+from repro.core.scheduler import Scheduler
+from repro.core.simulator import SimulationResult, SliceSimulator
+from repro.cpu.cores import BackgroundFn, CpuModel
+from repro.errors import ConfigurationError
+from repro.fabric.bigswitch import BigSwitch
+from repro.schedulers import make_scheduler
+from repro.units import gbps
+
+
+@dataclass
+class ExperimentSetup:
+    """Shared environment of one experiment (fabric + CPU + codec)."""
+
+    num_ports: int = 16
+    bandwidth: float = gbps(1)
+    slice_len: float = 0.01
+    cores_per_node: int = 4
+    codec: str = "lz4"
+    size_dependent_ratio: bool = True
+    background: Optional[BackgroundFn] = None
+    sample_cpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0 or self.bandwidth <= 0:
+            raise ConfigurationError("num_ports and bandwidth must be positive")
+
+    def with_(self, **kw) -> "ExperimentSetup":
+        """A modified copy (for parameter sweeps)."""
+        return replace(self, **kw)
+
+    def build_simulator(self, scheduler: Scheduler) -> SliceSimulator:
+        fabric = BigSwitch(self.num_ports, self.bandwidth)
+        cpu = CpuModel(
+            self.num_ports,
+            cores_per_node=self.cores_per_node,
+            background=self.background,
+        )
+        compression = (
+            CompressionEngine(self.codec, size_dependent=self.size_dependent_ratio)
+            if scheduler.uses_compression
+            else None
+        )
+        return SliceSimulator(
+            fabric,
+            scheduler,
+            slice_len=self.slice_len,
+            cpu=cpu,
+            compression=compression,
+            sample_cpu=self.sample_cpu,
+        )
+
+
+def run_policy(
+    policy: Union[str, Scheduler],
+    coflows: Sequence[Coflow],
+    setup: Optional[ExperimentSetup] = None,
+) -> SimulationResult:
+    """Run one policy over a workload and return the result."""
+    setup = setup or ExperimentSetup()
+    scheduler = make_scheduler(policy) if isinstance(policy, str) else policy
+    sim = setup.build_simulator(scheduler)
+    sim.submit_many(list(coflows))
+    return sim.run()
+
+
+def run_many(
+    policies: Sequence[Union[str, Scheduler]],
+    coflows: Sequence[Coflow],
+    setup: Optional[ExperimentSetup] = None,
+) -> Dict[str, SimulationResult]:
+    """Run several policies over the *same* workload (paired comparison)."""
+    out: Dict[str, SimulationResult] = {}
+    for p in policies:
+        scheduler = make_scheduler(p) if isinstance(p, str) else p
+        out[scheduler.name] = run_policy(scheduler, coflows, setup)
+    return out
+
+
+def speedups_over(
+    results: Dict[str, SimulationResult],
+    ours: str,
+    metric: str = "avg_cct",
+) -> Dict[str, float]:
+    """``metric(baseline) / metric(ours)`` for every baseline in results."""
+    if ours not in results:
+        raise ConfigurationError(f"{ours!r} not among results {sorted(results)}")
+    our_val = getattr(results[ours], metric)
+    if our_val <= 0:
+        raise ConfigurationError(f"{ours} has non-positive {metric}")
+    return {
+        name: getattr(res, metric) / our_val
+        for name, res in results.items()
+        if name != ours
+    }

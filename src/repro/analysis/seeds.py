@@ -1,0 +1,77 @@
+"""Multi-seed experiment statistics.
+
+Single-trace comparisons can flatter a policy by luck of placement; this
+module repeats an experiment across seeds and reports mean ± standard
+deviation (and pairwise win rates), so benchmark conclusions can be
+asserted robustly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.harness import ExperimentSetup, run_many
+from repro.core.coflow import Coflow
+from repro.core.scheduler import Scheduler
+from repro.core.simulator import SimulationResult
+from repro.errors import ConfigurationError
+
+WorkloadFactory = Callable[[int], Sequence[Coflow]]
+
+
+@dataclass
+class SeedStats:
+    """Per-policy samples of one metric across seeds."""
+
+    metric: str
+    samples: Dict[str, np.ndarray]
+
+    def mean(self, name: str) -> float:
+        return float(self.samples[name].mean())
+
+    def std(self, name: str) -> float:
+        return float(self.samples[name].std(ddof=1)) if len(self.samples[name]) > 1 else 0.0
+
+    def speedup_mean(self, baseline: str, ours: str) -> float:
+        """Mean per-seed speedup of ``ours`` over ``baseline``."""
+        return float((self.samples[baseline] / self.samples[ours]).mean())
+
+    def win_rate(self, ours: str, baseline: str) -> float:
+        """Fraction of seeds where ``ours`` beats ``baseline``."""
+        return float((self.samples[ours] < self.samples[baseline]).mean())
+
+    def summary_rows(self) -> List[List]:
+        return [
+            [name, self.mean(name), self.std(name)]
+            for name in sorted(self.samples)
+        ]
+
+
+def run_seeds(
+    policies: Sequence[Union[str, Scheduler]],
+    workload_factory: WorkloadFactory,
+    setup: Optional[ExperimentSetup] = None,
+    seeds: Sequence[int] = range(5),
+    metric: str = "avg_cct",
+) -> SeedStats:
+    """Run every policy on every seed's workload; collect one metric.
+
+    ``workload_factory(seed)`` must build a fresh workload per seed; the
+    same workload is shared by all policies within a seed (paired design).
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    acc: Dict[str, List[float]] = {}
+    for seed in seeds:
+        workload = workload_factory(seed)
+        results: Dict[str, SimulationResult] = run_many(policies, workload, setup)
+        for name, res in results.items():
+            acc.setdefault(name, []).append(float(getattr(res, metric)))
+    return SeedStats(
+        metric=metric,
+        samples={name: np.asarray(vals) for name, vals in acc.items()},
+    )

@@ -1,0 +1,255 @@
+"""Dependency-free SVG charts (line, CDF, bar).
+
+The benchmark reports are plain text; these helpers additionally render
+paper-style figures as standalone SVG files without a plotting stack —
+enough for the line/CDF/bar shapes the paper's evaluation uses.
+
+Coordinates: the plot area is padded inside the canvas; x/y values map
+linearly (or log10 on x when requested) onto it, y inverted (SVG's origin
+is top-left).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from repro.errors import ConfigurationError
+
+#: Default categorical palette (color-blind friendly).
+PALETTE = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+    "#F0E442", "#000000",
+]
+
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 60, 140, 40, 50
+
+
+@dataclass
+class Series:
+    """One line on a chart."""
+
+    label: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ConfigurationError(
+                f"series {self.label!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if not self.xs:
+            raise ConfigurationError(f"series {self.label!r} is empty")
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / (n - 1)
+    return [lo + i * step for i in range(n)]
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-2:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def line_chart(
+    series: Sequence[Series],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 400,
+    logx: bool = False,
+    dest: Optional[Union[str, Path, TextIO]] = None,
+) -> str:
+    """Render line series to an SVG string (and optionally a file)."""
+    if not series:
+        raise ConfigurationError("need at least one series")
+    xs_all = [x for s in series for x in s.xs]
+    ys_all = [y for s in series for y in s.ys]
+    if logx:
+        if min(xs_all) <= 0:
+            raise ConfigurationError("logx needs positive x values")
+        tx = lambda x: math.log10(x)
+    else:
+        tx = lambda x: float(x)
+    x_lo, x_hi = min(map(tx, xs_all)), max(map(tx, xs_all))
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if y_lo > 0 and y_lo / max(y_hi, 1e-300) < 0.5:
+        y_lo = 0.0  # anchor at zero unless the data is a narrow band
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    plot_w = width - _PAD_L - _PAD_R
+    plot_h = height - _PAD_T - _PAD_B
+
+    def px(x: float) -> float:
+        return _PAD_L + (tx(x) - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _PAD_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(title)}</text>'
+        )
+    # axes
+    x0, y0 = _PAD_L, _PAD_T + plot_h
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" y2="{y0}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{x0}" y1="{_PAD_T}" x2="{x0}" y2="{y0}" stroke="black"/>'
+    )
+    for t in _ticks(x_lo, x_hi):
+        xv = 10 ** t if logx else t
+        xp = _PAD_L + (t - x_lo) / (x_hi - x_lo) * plot_w
+        parts.append(f'<line x1="{xp}" y1="{y0}" x2="{xp}" y2="{y0 + 4}" stroke="black"/>')
+        parts.append(
+            f'<text x="{xp}" y="{y0 + 18}" text-anchor="middle">{_fmt(xv)}</text>'
+        )
+    for t in _ticks(y_lo, y_hi):
+        yp = py(t)
+        parts.append(f'<line x1="{x0 - 4}" y1="{yp}" x2="{x0}" y2="{yp}" stroke="black"/>')
+        parts.append(
+            f'<text x="{x0 - 8}" y="{yp + 4}" text-anchor="end">{_fmt(t)}</text>'
+        )
+    if xlabel:
+        parts.append(
+            f'<text x="{_PAD_L + plot_w / 2}" y="{height - 10}" '
+            f'text-anchor="middle">{_esc(xlabel)}</text>'
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="16" y="{_PAD_T + plot_h / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {_PAD_T + plot_h / 2})">{_esc(ylabel)}</text>'
+        )
+    # series + legend
+    for i, s in enumerate(series):
+        color = PALETTE[i % len(PALETTE)]
+        pts = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in zip(s.xs, s.ys))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        ly = _PAD_T + 16 * i
+        lx = _PAD_L + plot_w + 12
+        parts.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 24}" y="{ly + 4}">{_esc(s.label)}</text>')
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if dest is not None:
+        if isinstance(dest, (str, Path)):
+            Path(dest).write_text(svg)
+        else:
+            dest.write(svg)
+    return svg
+
+
+def cdf_chart(
+    samples: Dict[str, Sequence[float]],
+    title: str = "",
+    xlabel: str = "",
+    dest: Optional[Union[str, Path, TextIO]] = None,
+    logx: bool = False,
+) -> str:
+    """Empirical-CDF chart: one step curve per labelled sample set."""
+    if not samples:
+        raise ConfigurationError("need at least one sample set")
+    series = []
+    for label, values in samples.items():
+        xs = sorted(float(v) for v in values)
+        if not xs:
+            raise ConfigurationError(f"sample set {label!r} is empty")
+        n = len(xs)
+        ys = [(i + 1) / n for i in range(n)]
+        series.append(Series(label=label, xs=xs, ys=ys))
+    return line_chart(
+        series, title=title, xlabel=xlabel, ylabel="CDF", dest=dest, logx=logx
+    )
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 400,
+    dest: Optional[Union[str, Path, TextIO]] = None,
+) -> str:
+    """Simple vertical bar chart."""
+    if len(labels) != len(values) or not labels:
+        raise ConfigurationError("labels and values must align and be non-empty")
+    y_hi = max(max(values), 1e-12)
+    plot_w = width - _PAD_L - 40
+    plot_h = height - _PAD_T - _PAD_B
+    slot = plot_w / len(values)
+    bar_w = slot * 0.6
+    y0 = _PAD_T + plot_h
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(title)}</text>'
+        )
+    parts.append(
+        f'<line x1="{_PAD_L}" y1="{y0}" x2="{_PAD_L + plot_w}" y2="{y0}" stroke="black"/>'
+    )
+    for i, (label, v) in enumerate(zip(labels, values)):
+        h = max(v, 0.0) / y_hi * plot_h
+        x = _PAD_L + i * slot + (slot - bar_w) / 2
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y0 - h:.1f}" width="{bar_w:.1f}" '
+            f'height="{h:.1f}" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{y0 - h - 4:.1f}" '
+            f'text-anchor="middle">{_fmt(v)}</text>'
+        )
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{y0 + 16}" '
+            f'text-anchor="middle">{_esc(label)}</text>'
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="16" y="{_PAD_T + plot_h / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {_PAD_T + plot_h / 2})">{_esc(ylabel)}</text>'
+        )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if dest is not None:
+        if isinstance(dest, (str, Path)):
+            Path(dest).write_text(svg)
+        else:
+            dest.write(svg)
+    return svg

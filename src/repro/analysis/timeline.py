@@ -1,0 +1,51 @@
+"""ASCII coflow timeline (Gantt) rendering.
+
+A quick visual of who ran when — handy in examples and when debugging
+scheduling decisions without a plotting stack::
+
+    C1 shuffle |====----====      |  4.0s
+    C2 sort    |  ======          |  3.0s
+
+``=`` spans arrival→finish; the bar is wall-clock scaled.  Waiting and
+transmitting are not distinguished (the engine does not retain per-slice
+rate history), so the bar reads as "in flight".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.coflow import CoflowResult
+from repro.errors import ConfigurationError
+from repro.units import seconds_to_human
+
+
+def render_timeline(
+    coflows: Sequence[CoflowResult],
+    width: int = 60,
+    max_rows: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render completed coflows as an ASCII Gantt chart."""
+    if width < 10:
+        raise ConfigurationError("width must be >= 10")
+    if not coflows:
+        return "(no coflows)"
+    items = sorted(coflows, key=lambda c: (c.arrival, c.coflow_id))[:max_rows]
+    t_max = max(c.finish for c in items)
+    t_max = max(t_max, 1e-12)
+    label_w = min(max(len(c.label or str(c.coflow_id)) for c in items), 24)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for c in items:
+        label = (c.label or f"coflow-{c.coflow_id}")[:label_w].ljust(label_w)
+        start = int(round(c.arrival / t_max * (width - 1)))
+        end = max(int(round(c.finish / t_max * (width - 1))), start + 1)
+        bar = " " * start + "=" * (end - start)
+        bar = bar.ljust(width)
+        lines.append(f"{label} |{bar}| {seconds_to_human(c.cct)}")
+    if len(coflows) > max_rows:
+        lines.append(f"... ({len(coflows) - max_rows} more)")
+    lines.append(f"{'t'.rjust(label_w)} |0{' ' * (width - 2)}{seconds_to_human(t_max)}")
+    return "\n".join(lines)

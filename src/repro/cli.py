@@ -1,0 +1,304 @@
+"""Command-line interface: run experiments without writing a script.
+
+Subcommands
+-----------
+``schedulers``
+    List every registered scheduling policy.
+``compare``
+    Run a synthetic coflow workload under several policies and print the
+    comparison table (avg FCT/CCT, makespan, traffic saved).
+``replay``
+    Replay a Facebook coflow-benchmark trace file under one or more
+    policies.
+``fig4``
+    Print the motivating-example table against the paper's numbers.
+``cluster``
+    Run a HiBench suite on the cluster simulator with and without Swallow.
+
+Examples::
+
+    python -m repro schedulers
+    python -m repro compare --policies fifo,sebf,fvdf --coflows 40 --bandwidth 1gbps
+    python -m repro replay path/to/FB2010-1Hr-150-0.txt --policies sebf,fvdf
+    python -m repro fig4
+    python -m repro cluster --scale large
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import ExperimentSetup, render_table, run_many, speedups_over
+from repro.errors import ReproError
+from repro.schedulers import make_scheduler, scheduler_names
+from repro.units import GBPS, MBPS, bytes_to_human, seconds_to_human
+
+
+def parse_bandwidth(text: str) -> float:
+    """Parse ``"100mbps"`` / ``"1gbps"`` / raw bytes-per-second."""
+    t = text.strip().lower()
+    try:
+        if t.endswith("gbps"):
+            return float(t[:-4]) * GBPS
+        if t.endswith("mbps"):
+            return float(t[:-4]) * MBPS
+        return float(t)
+    except ValueError:
+        raise ReproError(f"cannot parse bandwidth {text!r}") from None
+
+
+def _policies(arg: str) -> List[str]:
+    names = [p.strip() for p in arg.split(",") if p.strip()]
+    for n in names:
+        try:
+            make_scheduler(n)  # validate early, with a helpful error
+        except ReproError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    return names
+
+
+def _summary_table(results) -> str:
+    rows = [
+        [
+            name,
+            seconds_to_human(res.avg_fct),
+            seconds_to_human(res.avg_cct),
+            seconds_to_human(res.makespan),
+            f"{res.traffic_reduction * 100:.1f}%",
+        ]
+        for name, res in results.items()
+    ]
+    return render_table(
+        ["policy", "avg FCT", "avg CCT", "makespan", "traffic saved"], rows
+    )
+
+
+def cmd_schedulers(args: argparse.Namespace) -> int:
+    for name in scheduler_names():
+        print(name)
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    rows = [
+        [e.exp_id, e.title, e.bench] for e in EXPERIMENTS.values()
+    ]
+    print(render_table(["id", "title", "bench"], rows,
+                       title="Registered experiments (paper tables/figures)"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.traces import WorkloadConfig, generate_workload, spark_flow_sizes
+
+    rng = np.random.default_rng(args.seed)
+    workload = generate_workload(
+        WorkloadConfig(
+            num_coflows=args.coflows,
+            num_ports=args.ports,
+            size_dist=spark_flow_sizes(),
+            width=(1, args.max_width),
+            arrival_rate=args.rate,
+        ),
+        rng,
+    )
+    setup = ExperimentSetup(
+        num_ports=args.ports,
+        bandwidth=parse_bandwidth(args.bandwidth),
+        slice_len=args.slice,
+    )
+    results = run_many(args.policies, workload, setup)
+    print(_summary_table(results))
+    if len(results) > 1:
+        ours = args.policies[-1]
+        print(f"\nCCT speedup of {ours}:")
+        for name, sp in sorted(speedups_over(results, ours=ours).items()):
+            print(f"  over {name:12s} {sp:.2f}x")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.traces import read_csv_trace, read_facebook_trace
+
+    if args.format == "csv" or (args.format == "auto" and args.trace.endswith(".csv")):
+        coflows = read_csv_trace(args.trace)
+        num_ports = 1 + max(
+            max(f.src for c in coflows for f in c.flows),
+            max(f.dst for c in coflows for f in c.flows),
+        )
+    else:
+        trace = read_facebook_trace(args.trace)
+        coflows, num_ports = trace.coflows, trace.num_ports
+    total = sum(c.size for c in coflows)
+    n_flows = sum(c.width for c in coflows)
+    print(
+        f"{len(coflows)} coflows, {n_flows} flows, "
+        f"{bytes_to_human(total)} on {num_ports} ports"
+    )
+    setup = ExperimentSetup(
+        num_ports=num_ports,
+        bandwidth=parse_bandwidth(args.bandwidth),
+        slice_len=args.slice,
+    )
+    results = run_many(args.policies, coflows, setup)
+    print(_summary_table(results))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run the benchmark suite that regenerates every table and figure."""
+    import pytest as _pytest
+
+    bench_dir = str(Path(__file__).resolve().parents[2] / "benchmarks")
+    pytest_args = [bench_dir, "--benchmark-only", "-q"]
+    if args.only:
+        from repro.experiments import EXPERIMENTS
+
+        try:
+            exp = EXPERIMENTS[args.only]
+        except KeyError:
+            print(
+                f"error: unknown experiment {args.only!r}; "
+                f"see `python -m repro experiments`",
+                file=sys.stderr,
+            )
+            return 2
+        pytest_args[0] = str(Path(bench_dir) / exp.bench)
+    if args.collect_only:
+        pytest_args.append("--collect-only")
+    rc = _pytest.main(pytest_args)
+    if rc == 0 and not args.collect_only:
+        from repro.analysis.collate import collate_reports
+
+        reports = Path(bench_dir) / "reports"
+        if reports.is_dir():
+            out = reports / "REPORT.md"
+            collate_reports(reports, out)
+            print(f"\nreports written under {reports} (collated: {out})")
+    return int(rc)
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.scenarios import FIG4_PAPER_NUMBERS, run_motivating_example
+
+    rows = []
+    for name in ["pff", "wss", "fifo", "pfp", "sebf", "fvdf"]:
+        res = run_motivating_example(make_scheduler(name))
+        p_fct, p_cct = FIG4_PAPER_NUMBERS[name]
+        rows.append([name, f"{res.avg_fct:.2f}", f"{p_fct:.2f}",
+                     f"{res.avg_cct:.2f}", f"{p_cct:.2f}"])
+    print(render_table(
+        ["policy", "FCT (ours)", "FCT (paper)", "CCT (ours)", "CCT (paper)"],
+        rows, title="Fig. 4 — motivating example",
+    ))
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, ClusterSimulator, hibench_suite
+
+    def run_once(policy: str):
+        cfg = ClusterConfig(
+            num_nodes=args.nodes,
+            bandwidth=parse_bandwidth(args.bandwidth),
+            slice_len=args.slice,
+        )
+        sim = ClusterSimulator(cfg, make_scheduler(policy))
+        sim.submit_jobs(
+            hibench_suite(args.scale, np.random.default_rng(args.seed),
+                          num_jobs=args.jobs)
+        )
+        return sim.run()
+
+    base, swallow = run_once("sebf"), run_once("fvdf")
+    rows = [
+        ["avg JCT", seconds_to_human(base.avg_jct), seconds_to_human(swallow.avg_jct),
+         f"{base.avg_jct / swallow.avg_jct:.2f}x"],
+        ["shuffle traffic", bytes_to_human(base.shuffle_bytes_sent),
+         bytes_to_human(swallow.shuffle_bytes_sent),
+         f"{swallow.traffic_reduction * 100:.1f}% saved"],
+    ]
+    print(render_table(
+        ["metric", "without Swallow", "with Swallow", "improvement"], rows,
+        title=f"HiBench {args.scale} on {args.nodes} nodes",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Swallow (IPDPS'18) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schedulers", help="list scheduling policies").set_defaults(
+        fn=cmd_schedulers
+    )
+    sub.add_parser(
+        "experiments", help="list the paper's tables/figures and their benches"
+    ).set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("compare", help="compare policies on a synthetic workload")
+    p.add_argument("--policies", type=_policies, default=["fifo", "sebf", "fvdf"])
+    p.add_argument("--coflows", type=int, default=40)
+    p.add_argument("--ports", type=int, default=16)
+    p.add_argument("--max-width", type=int, default=8)
+    p.add_argument("--rate", type=float, default=4.0)
+    p.add_argument("--bandwidth", default="100mbps")
+    p.add_argument("--slice", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "replay", help="replay a coflow trace (FB benchmark or CSV format)"
+    )
+    p.add_argument("trace")
+    p.add_argument("--format", choices=["auto", "fb", "csv"], default="auto")
+    p.add_argument("--policies", type=_policies, default=["sebf", "fvdf"])
+    p.add_argument("--bandwidth", default="100mbps")
+    p.add_argument("--slice", type=float, default=0.01)
+    p.set_defaults(fn=cmd_replay)
+
+    sub.add_parser("fig4", help="the paper's motivating example").set_defaults(
+        fn=cmd_fig4
+    )
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate the paper's tables/figures (runs pytest)"
+    )
+    p.add_argument("--only", help="experiment id (see `experiments`)")
+    p.add_argument("--collect-only", action="store_true",
+                   help="list the bench tests without running them")
+    p.set_defaults(fn=cmd_reproduce)
+
+    p = sub.add_parser("cluster", help="HiBench cluster run with/without Swallow")
+    p.add_argument("--scale", default="large", choices=["large", "huge", "gigantic"])
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--jobs", type=int, default=12)
+    p.add_argument("--bandwidth", default="1gbps")
+    p.add_argument("--slice", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_cluster)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

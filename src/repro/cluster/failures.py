@@ -1,0 +1,95 @@
+"""Failure and straggler injection for the cluster simulator.
+
+Production map/reduce stages lose tasks (executor OOMs, preemptions, node
+flakiness) and suffer stragglers; both stretch stage durations and change
+when shuffles hit the fabric.  The model is intentionally simple and
+deterministic-under-seed:
+
+* each task independently *fails* with probability ``task_failure_prob``
+  per attempt and is retried (serially, as a conservative re-execution
+  model) up to ``max_retries`` times — beyond that the whole job is
+  marked failed;
+* each attempt independently *straggles* with probability
+  ``straggler_prob``, running ``straggler_slowdown`` times longer.
+
+A stage's duration is the slowest task's total attempt time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Per-attempt task failure/straggler parameters.
+
+    With ``speculative`` on, a backup copy of a straggling task launches
+    once the expected task time has elapsed and the stage takes whichever
+    copy finishes first — capping a straggler at 2× the base time (Spark's
+    speculative execution, idealised).
+    """
+
+    task_failure_prob: float = 0.0
+    max_retries: int = 3
+    straggler_prob: float = 0.0
+    straggler_slowdown: float = 3.0
+    speculative: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.task_failure_prob < 1:
+            raise ConfigurationError("task_failure_prob must lie in [0, 1)")
+        if not 0 <= self.straggler_prob <= 1:
+            raise ConfigurationError("straggler_prob must lie in [0, 1]")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.straggler_slowdown < 1:
+            raise ConfigurationError("straggler_slowdown must be >= 1")
+
+    def stage_time(
+        self,
+        base_task_time: float,
+        num_tasks: int,
+        rng: np.random.Generator,
+    ) -> Tuple[float, int, bool]:
+        """Simulate one stage's tasks.
+
+        Returns
+        -------
+        (duration, total_attempts, failed):
+            ``duration`` is the slowest task's cumulative attempt time;
+            ``total_attempts`` counts every attempt across tasks;
+            ``failed`` is True when some task exhausted its retries.
+        """
+        if base_task_time < 0 or num_tasks <= 0:
+            raise ConfigurationError("need base_task_time >= 0 and num_tasks > 0")
+        worst = 0.0
+        attempts_total = 0
+        failed = False
+        for _ in range(num_tasks):
+            elapsed = 0.0
+            for attempt in range(self.max_retries + 1):
+                attempts_total += 1
+                t = base_task_time
+                if self.straggler_prob and rng.random() < self.straggler_prob:
+                    t *= self.straggler_slowdown
+                    if self.speculative:
+                        # backup launched at base_task_time, finishes after
+                        # another base_task_time (assumed healthy copy).
+                        t = min(t, 2 * base_task_time)
+                elapsed += t
+                if not (self.task_failure_prob and rng.random() < self.task_failure_prob):
+                    break
+            else:
+                failed = True
+            worst = max(worst, elapsed)
+        return worst, attempts_total, failed
+
+
+#: The default: a perfectly reliable cluster.
+NO_FAILURES = FailureModel()

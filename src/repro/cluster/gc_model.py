@@ -1,0 +1,70 @@
+"""JVM garbage-collection time model (paper Table VIII).
+
+The paper reports application-level GC time per map/reduce stage, showing
+that compression shrinks shuffle buffers and therefore GC work.  We model
+GC time as base cost plus allocation-proportional work, amplified when the
+working set presses against the heap:
+
+    gc = base + (alloc / throughput) * pressure(alloc / heap)
+
+with a superlinear pressure term once allocations approach the heap size —
+the paper's "page replacement in memory swap" regime.  The constants are
+chosen so the large/huge/gigantic workloads land in Table VIII's ranges
+(sub-second maps; seconds-to-minutes reduces at the gigantic scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class GcModel:
+    """Analytic GC-time model.
+
+    Parameters
+    ----------
+    heap:
+        JVM heap per executor, bytes.
+    throughput:
+        Bytes of allocation retired per second of GC work.
+    base:
+        Fixed per-stage GC cost (young-gen churn), seconds.
+    pressure_knee:
+        Fraction of heap occupancy where pressure starts to grow.
+    pressure_power:
+        Superlinearity of the over-knee penalty.
+    """
+
+    heap: float = 4 * GB
+    throughput: float = 8 * GB
+    base: float = 0.05
+    pressure_knee: float = 0.5
+    pressure_power: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.heap <= 0 or self.throughput <= 0:
+            raise ConfigurationError("heap and throughput must be positive")
+        if self.base < 0:
+            raise ConfigurationError("base must be >= 0")
+        if not 0 < self.pressure_knee <= 1:
+            raise ConfigurationError("pressure_knee must lie in (0, 1]")
+        if self.pressure_power < 1:
+            raise ConfigurationError("pressure_power must be >= 1")
+
+    def pressure(self, alloc: float) -> float:
+        """Multiplier >= 1; grows once alloc presses past the knee."""
+        occupancy = alloc / self.heap
+        if occupancy <= self.pressure_knee:
+            return 1.0
+        over = (occupancy - self.pressure_knee) / self.pressure_knee
+        return 1.0 + over**self.pressure_power
+
+    def gc_time(self, alloc: float) -> float:
+        """GC seconds for a stage allocating ``alloc`` bytes per executor."""
+        if alloc < 0:
+            raise ConfigurationError("alloc must be >= 0")
+        return self.base + (alloc / self.throughput) * self.pressure(alloc)

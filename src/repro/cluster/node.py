@@ -1,0 +1,45 @@
+"""Cluster machine model.
+
+One :class:`ClusterNode` per fabric ingress/egress port pair, mirroring the
+paper's testbed (Section VI-B: 100 VMs, each with 3.1 GHz Xeon cores,
+28 GB memory, gigabit Ethernet).  Processing speeds are per-core byte
+throughputs of the map/reduce user code — they set stage durations in the
+deployment simulation but take no part in network scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware profile shared by every node of a (homogeneous) cluster."""
+
+    cores: int = 4
+    memory: float = 28 * GB
+    disk_bandwidth: float = 200 * MB  # sequential HDFS write, bytes/s
+    map_speed: float = 100 * MB  # map user-code throughput per core
+    reduce_speed: float = 100 * MB  # reduce user-code throughput per core
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("cores must be positive")
+        for attr in ("memory", "disk_bandwidth", "map_speed", "reduce_speed"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive")
+
+
+@dataclass
+class ClusterNode:
+    """A machine: identity plus its hardware profile."""
+
+    node_id: int
+    spec: NodeSpec
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigurationError("node_id must be non-negative")

@@ -1,0 +1,69 @@
+"""Shuffle materialisation: a job's map output becomes one coflow.
+
+Each (mapper task, reducer task) pair contributes one flow of the app's
+block size, placed on the nodes the tasks were scheduled on.  The flow's
+``ratio_override`` carries the application's measured compressibility
+(Table I) so that when Swallow compresses the shuffle, the traffic drops by
+exactly the paper's per-app factor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.job import JobSpec
+from repro.core.coflow import Coflow
+from repro.core.flow import Flow
+from repro.errors import ConfigurationError
+
+
+def build_shuffle_coflow(
+    spec: JobSpec,
+    mapper_nodes: Sequence[int],
+    reducer_nodes: Sequence[int],
+    arrival: float,
+) -> Coflow:
+    """Build the coflow for one job's shuffle stage.
+
+    Parameters
+    ----------
+    mapper_nodes / reducer_nodes:
+        Node ids the map/reduce tasks run on (one entry per task).
+    arrival:
+        When the shuffle becomes ready (map-stage end).
+    """
+    if len(mapper_nodes) != spec.num_mappers:
+        raise ConfigurationError(
+            f"{spec.label}: expected {spec.num_mappers} mapper nodes, "
+            f"got {len(mapper_nodes)}"
+        )
+    if len(reducer_nodes) != spec.num_reducers:
+        raise ConfigurationError(
+            f"{spec.label}: expected {spec.num_reducers} reducer nodes, "
+            f"got {len(reducer_nodes)}"
+        )
+    block = spec.app.block_uncompressed * spec.shuffle_scale
+    flows = [
+        Flow(
+            src=int(m),
+            dst=int(r),
+            size=block,
+            ratio_override=spec.app.ratio,
+        )
+        for m in mapper_nodes
+        for r in reducer_nodes
+    ]
+    return Coflow(flows, arrival=arrival, label=f"{spec.label}-shuffle")
+
+
+def place_tasks(
+    rng: np.random.Generator, num_tasks: int, num_nodes: int
+) -> np.ndarray:
+    """Uniform random task placement, spreading across nodes when possible."""
+    if num_tasks <= 0 or num_nodes <= 0:
+        raise ConfigurationError("num_tasks and num_nodes must be positive")
+    if num_tasks <= num_nodes:
+        return rng.choice(num_nodes, size=num_tasks, replace=False)
+    return rng.integers(0, num_nodes, size=num_tasks)

@@ -1,0 +1,21 @@
+"""Compression substrate: codecs (Table II), ratio model (Table III), engine."""
+
+from repro.compression.calibrate import calibrated_codec, measure_backend, synthetic_payload
+from repro.compression.codecs import (
+    DEFAULT_CODEC_NAME,
+    TABLE_II,
+    Codec,
+    default_codec,
+    get_codec,
+    register_codec,
+)
+from repro.compression.engine import CompressionEngine
+from repro.compression.model import TABLE_III_ANCHORS, SizeDependentRatio, table3_ratio
+
+__all__ = [
+    "Codec", "get_codec", "default_codec", "register_codec",
+    "TABLE_II", "DEFAULT_CODEC_NAME",
+    "SizeDependentRatio", "table3_ratio", "TABLE_III_ANCHORS",
+    "CompressionEngine",
+    "calibrated_codec", "measure_backend", "synthetic_payload",
+]

@@ -1,0 +1,101 @@
+"""Size-dependent compression-ratio model (paper Table III).
+
+Table III measures the Sort workload's compression ratio as a function of
+flow size: tiny flows compress poorly (66% at 10 KB — headers and dictionary
+warm-up dominate) and the ratio converges to ~25% beyond ~100 MB.  The paper
+uses this to argue that compression parameters can be pre-profiled.
+
+We reproduce the table exactly at its anchor points by interpolating the
+ratio linearly in ``log10(size)``, with flat extrapolation outside the
+measured range.  Per-codec curves shift the anchor curve additively so that
+the large-flow asymptote equals the codec's Table II ratio, clipped to a
+physical range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.compression.codecs import Codec
+from repro.errors import ConfigurationError
+from repro.units import GB, KB, MB
+
+#: Table III anchors: (flow size in bytes, compression ratio).
+TABLE_III_ANCHORS = (
+    (10 * KB, 0.6646),
+    (50 * KB, 0.5870),
+    (100 * KB, 0.5629),
+    (1 * MB, 0.4124),
+    (10 * MB, 0.2744),
+    (100 * MB, 0.2533),
+    (1 * GB, 0.2511),
+    (10 * GB, 0.2507),
+)
+
+#: Asymptotic ratio of the anchor curve (its largest-size measurement).
+_ANCHOR_ASYMPTOTE = TABLE_III_ANCHORS[-1][1]
+
+#: Physical clipping bounds for effective ratios.
+RATIO_MIN, RATIO_MAX = 0.02, 0.98
+
+
+class SizeDependentRatio:
+    """Effective compression ratio ``xi(size)`` for a codec.
+
+    ``xi(size) = clip(codec.ratio + (anchor(size) - anchor_asymptote))``
+
+    i.e. the Table III *shape* (how much worse small flows compress) shifted
+    so that large flows hit the codec's own Table II ratio.  With
+    ``anchors=None`` and a codec whose ratio equals the anchor asymptote,
+    this reproduces Table III exactly.
+
+    Parameters
+    ----------
+    codec:
+        The codec whose reference ratio sets the asymptote.
+    anchors:
+        Optional override for the (size, ratio) anchor table.
+    """
+
+    def __init__(
+        self,
+        codec: Codec,
+        anchors: Optional[Sequence] = None,
+    ):
+        pts = sorted(anchors if anchors is not None else TABLE_III_ANCHORS)
+        if len(pts) < 2:
+            raise ConfigurationError("need at least two anchor points")
+        sizes = np.asarray([p[0] for p in pts], dtype=np.float64)
+        ratios = np.asarray([p[1] for p in pts], dtype=np.float64)
+        if np.any(sizes <= 0):
+            raise ConfigurationError("anchor sizes must be positive")
+        if np.any((ratios <= 0) | (ratios >= 1)):
+            raise ConfigurationError("anchor ratios must lie in (0, 1)")
+        self.codec = codec
+        self._log_sizes = np.log10(sizes)
+        self._ratios = ratios
+        self._shift = codec.ratio - ratios[-1]
+
+    def __call__(self, size: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Effective ratio for flow(s) of the given original size (bytes)."""
+        s = np.asarray(size, dtype=np.float64)
+        if np.any(s <= 0):
+            raise ConfigurationError("flow size must be positive")
+        base = np.interp(np.log10(s), self._log_sizes, self._ratios)
+        out = np.clip(base + self._shift, RATIO_MIN, RATIO_MAX)
+        return float(out) if np.isscalar(size) or s.ndim == 0 else out
+
+    def disposal_speed(self, size: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Net volume drain ``R * (1 - xi(size))`` for flows of this size."""
+        return self.codec.speed * (1.0 - self.__call__(size))
+
+
+def table3_ratio(size: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """The raw Table III anchor curve (the Sort workload's measured codec)."""
+    s = np.asarray(size, dtype=np.float64)
+    log_sizes = np.log10(np.asarray([p[0] for p in TABLE_III_ANCHORS]))
+    ratios = np.asarray([p[1] for p in TABLE_III_ANCHORS])
+    out = np.interp(np.log10(s), log_sizes, ratios)
+    return float(out) if np.isscalar(size) or s.ndim == 0 else out

@@ -1,0 +1,24 @@
+"""Core: the paper's algorithm (FVDF) and the slice-based simulation engine."""
+
+from repro.core.bounds import (
+    avg_cct_lower_bound,
+    isolation_gamma,
+    makespan_lower_bound,
+    optimality_gap,
+)
+from repro.core.coflow import Coflow, CoflowResult
+from repro.core.events import ArrivalCalendar, EventKind, ScheduleTrigger
+from repro.core.flow import Flow, FlowResult
+from repro.core.fvdf import FVDFConfig, FVDFScheduler
+from repro.core.scheduler import Allocation, CoflowState, Scheduler, SchedulerView
+from repro.core.simulator import DEFAULT_SLICE, SimulationResult, SliceSimulator
+
+__all__ = [
+    "Flow", "FlowResult", "Coflow", "CoflowResult",
+    "EventKind", "ScheduleTrigger", "ArrivalCalendar",
+    "Scheduler", "SchedulerView", "CoflowState", "Allocation",
+    "SliceSimulator", "SimulationResult", "DEFAULT_SLICE",
+    "FVDFScheduler", "FVDFConfig",
+    "isolation_gamma", "avg_cct_lower_bound", "makespan_lower_bound",
+    "optimality_gap",
+]

@@ -1,0 +1,81 @@
+"""Event kinds and the arrival calendar of the slice-based engine.
+
+The engine observes the world only at *slice boundaries* (Section IV-B1 of
+the paper: scheduling decisions are recomputed per time slice, and
+preemption happens at coflow arrivals/completions).  Between two decision
+points nothing about the allocation changes, so the engine fast-forwards in
+closed form; the events here mark why a decision point occurred.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Optional, Set
+
+from repro.core.coflow import Coflow
+from repro.errors import ConfigurationError
+
+
+class EventKind(Enum):
+    """Why the engine woke the scheduler up."""
+
+    START = auto()  # first decision point of the run
+    ARRIVAL = auto()  # one or more coflows became active
+    COMPLETION = auto()  # one or more flows/coflows finished
+    RAW_EXHAUSTED = auto()  # a compressing flow ran out of raw bytes
+    CAPACITY = auto()  # a port's capacity changed (dynamic bandwidth)
+    HORIZON = auto()  # run(until=...) boundary reached
+
+
+@dataclass
+class ScheduleTrigger:
+    """The set of event kinds observed at the current slice boundary."""
+
+    kinds: Set[EventKind] = field(default_factory=set)
+
+    @property
+    def has_arrival(self) -> bool:
+        return EventKind.ARRIVAL in self.kinds
+
+    @property
+    def has_completion(self) -> bool:
+        return EventKind.COMPLETION in self.kinds
+
+    @property
+    def is_preemption_point(self) -> bool:
+        """Arrivals and completions are the paper's preemption points."""
+        return self.has_arrival or self.has_completion
+
+
+class ArrivalCalendar:
+    """Min-heap of coflows keyed by arrival time."""
+
+    def __init__(self) -> None:
+        self._heap: List = []
+        self._counter = 0
+
+    def push(self, coflow: Coflow) -> None:
+        heapq.heappush(self._heap, (coflow.arrival, self._counter, coflow))
+        self._counter += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Arrival time of the earliest pending coflow, or ``None``."""
+        return self._heap[0][0] if self._heap else None
+
+    def prune_head(self, should_drop) -> None:
+        """Discard leading entries for which ``should_drop(coflow)`` holds
+        (lazy deletion for cancelled coflows)."""
+        while self._heap and should_drop(self._heap[0][2]):
+            heapq.heappop(self._heap)
+
+    def pop_due(self, now: float) -> List[Coflow]:
+        """Remove and return every coflow with ``arrival <= now``."""
+        due: List[Coflow] = []
+        while self._heap and self._heap[0][0] <= now:
+            due.append(heapq.heappop(self._heap)[2])
+        return due

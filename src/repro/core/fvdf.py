@@ -1,0 +1,287 @@
+"""Fastest-Volume-Disposal-First — the paper's algorithm (Section IV).
+
+The three pseudocode procedures map onto this module as:
+
+* **Pseudocode 1** (CompressionStrategy) → :func:`compression_strategy`:
+  β=1 iff the flow is compressible, a CPU core is free on its source node,
+  and compression outruns transmission — ``R·(1-ξ) > B`` (Eq. 3).
+* **Pseudocode 2** (FVDF / TimeCalculation / VolumeDisposal) →
+  :func:`expected_fct` (Eq. 7), :func:`coflow_gamma` (Eq. 8) and
+  :meth:`FVDFScheduler.schedule` (Shortest-``Γ_C``-First ordering plus the
+  minimal-bandwidth allocation ``r = V / Γ_C``).
+* **Pseudocode 3** (OnlineScheduling / Upgrade) → the priority classes
+  ``P`` stored on :class:`~repro.core.scheduler.CoflowState`, multiplied by
+  ``logbase`` at every arrival/completion and used as ``Γ_C / P``.
+
+Volume disposal itself (line 24–35) is executed by the engine
+(:mod:`repro.core.simulator`), which integrates the chosen rates and
+compression assignments over the slice window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import rate_allocation as ra
+from repro.core.scheduler import Allocation, Scheduler, SchedulerView
+from repro.errors import ConfigurationError
+
+#: Pseudocode 3 line 16: exponential priority-upgrade base.
+DEFAULT_LOGBASE = 1.2
+
+
+def compression_strategy(
+    view: SchedulerView,
+    enable: bool = True,
+    order: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-flow β (Pseudocode 1), resolved against per-node core budgets.
+
+    Parameters
+    ----------
+    view:
+        Current scheduler view.
+    enable:
+        Master switch (the ``swallow.smartCompress`` option).
+    order:
+        Flow indices in descending scheduling importance; when a node has
+        fewer free cores than candidate flows, earlier flows win.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean β per active flow.
+    """
+    n = view.num_flows
+    if not enable or view.compression is None or n == 0:
+        return np.zeros(n, dtype=bool)
+    engine = view.compression
+    want = view.compressible & (view.raw > 0)
+    # Eq. 3: only compress when it disposes volume faster than the wire can.
+    want &= engine.speed * (1.0 - view.xi) > view.link_cap
+    # Eq. 3 compares full-slice disposals; when transmission would already
+    # finish the whole flow within one slice (Δt >= V), compressing first
+    # can only add slice waste — never compress such flows.
+    want &= view.volume > view.link_cap * view.slice_len
+    if not want.any():
+        return want
+    return engine.grant_cores(want, view.src, view.free_cores, priority=order)
+
+
+def expected_fct(view: SchedulerView, beta: np.ndarray) -> np.ndarray:
+    """Eq. 7: worst-case expected FCT per flow.
+
+    One slice proceeds under the chosen β; afterwards the estimate
+    pessimistically assumes compression stays off, so the residual volume
+    drains at the link bandwidth ``B``.
+    """
+    delta = view.slice_len
+    B = view.link_cap
+    vol = view.volume
+    if view.compression is not None:
+        dc = view.compression.speed * (1.0 - view.xi) * delta
+    else:
+        dc = np.zeros(view.num_flows)
+    dt = B * delta
+    disposed = np.where(beta, dc, dt)
+    residual = np.maximum(vol - disposed, 0.0)
+    return delta + residual / B
+
+
+def coflow_gamma(view: SchedulerView, beta: np.ndarray) -> np.ndarray:
+    """Eq. 8: ``Γ_C = max_f Γ_F(f)`` for every coflow in the view.
+
+    Returns an array aligned with ``view.coflows``.
+    """
+    gamma_f = expected_fct(view, beta)
+    return np.asarray(
+        [float(gamma_f[cs.flow_idx].max()) for cs in view.coflows]
+    )
+
+
+def upgrade(view: SchedulerView, logbase: float = DEFAULT_LOGBASE) -> None:
+    """Pseudocode 3 Upgrade: exponential priority growth for waiting coflows."""
+    for cs in view.coflows:
+        cs.priority_class *= logbase
+
+
+@dataclass
+class FVDFConfig:
+    """Tunable knobs of FVDF (ablation targets; defaults match the paper)."""
+
+    #: master compression switch (``swallow.smartCompress``).
+    compress: bool = True
+    #: starvation-freedom upgrade base; 1.0 disables priority classes.
+    logbase: float = DEFAULT_LOGBASE
+    #: "minimal" (paper: r = V/Γ_C then backfill), "greedy" (strict
+    #: priority), or "madd" (Varys-style minimum allocation).
+    rate_policy: str = "minimal"
+    #: starvation-freedom aging policy.  "paper": P grows ×logbase for
+    #: *every* waiting coflow at every arrival/completion, unboundedly
+    #: (Pseudocode 3 verbatim) — on event-dense traces this degenerates
+    #: into arrival-order scheduling.  "starved" (default): P grows only
+    #: for coflows that received no service (zero rate, no compression) in
+    #: the previous window — the paper's own justification ("preempted by
+    #: small coflows exceeding a certain number of times") made literal;
+    #: served coflows keep their class, so aging targets exactly the
+    #: starving.  "decay"/"reset": age everyone but decay/clear the head's
+    #: class — kept for the ablation (both re-starve large coflows that
+    #: are only served in arrival gaps).  Compared empirically in
+    #: benchmarks/bench_ablation_aging.py.
+    aging: str = "starved"
+    #: scheduling unit: "coflow" (the paper) or "flow" (each flow treated as
+    #: its own unit — the Fig. 6(a–d) flow-level comparisons).
+    granularity: str = "coflow"
+
+    def __post_init__(self) -> None:
+        if self.rate_policy not in ("minimal", "greedy", "madd"):
+            raise ConfigurationError(f"unknown rate_policy {self.rate_policy!r}")
+        if self.granularity not in ("coflow", "flow"):
+            raise ConfigurationError(f"unknown granularity {self.granularity!r}")
+        if self.logbase < 1.0:
+            raise ConfigurationError("logbase must be >= 1")
+        if self.aging not in ("paper", "starved", "decay", "reset"):
+            raise ConfigurationError(f"unknown aging policy {self.aging!r}")
+
+
+class FVDFScheduler(Scheduler):
+    """Fastest-Volume-Disposal-First (the paper's contribution).
+
+    At every decision point:
+
+    1. ``Upgrade`` priority classes if the trigger is an arrival/completion.
+    2. Decide β per flow (Pseudocode 1) under per-node core budgets.
+    3. Compute ``Γ_C`` per scheduling unit (Eq. 7/8) and sort by
+       ``Γ_C / P`` — Shortest-``Γ_C``-First with starvation freedom.
+    4. Allocate bandwidth: compressing flows sit out this window; the rest
+       receive rates per the configured policy, then leftover capacity
+       backfills in priority order (work conservation).
+    """
+
+    uses_compression = True
+
+    def __init__(self, config: Optional[FVDFConfig] = None, name: Optional[str] = None):
+        self.config = config or FVDFConfig()
+        self.name = name or ("fvdf" if self.config.compress else "fvdf-nocompress")
+        #: coflow_id -> whether it received service in the last window
+        self._last_served: dict = {}
+
+    def reset(self) -> None:
+        self._last_served.clear()
+
+    # -- helpers ---------------------------------------------------------------
+    def _units(self, view: SchedulerView) -> List[Tuple[np.ndarray, float]]:
+        """Scheduling units as (flow indices, priority class P)."""
+        if self.config.granularity == "coflow":
+            return [(cs.flow_idx, cs.priority_class) for cs in view.coflows]
+        # Flow granularity: each flow is its own unit, inheriting its
+        # coflow's priority class.
+        units: List[Tuple[np.ndarray, float]] = []
+        for cs in view.coflows:
+            for i in cs.flow_idx:
+                units.append((np.asarray([i], dtype=np.intp), cs.priority_class))
+        return units
+
+    def schedule(self, view: SchedulerView) -> Allocation:
+        n = view.num_flows
+        if n == 0:
+            return Allocation.idle(0)
+        cfg = self.config
+        if cfg.logbase > 1.0 and view.trigger.is_preemption_point:
+            if cfg.aging == "starved":
+                for cs in view.coflows:
+                    if self._last_served.get(cs.coflow_id, True) is False:
+                        cs.priority_class *= cfg.logbase
+            else:
+                upgrade(view, cfg.logbase)
+
+        units = self._units(view)
+
+        # Pass 1: optimistic β (budget resolved in arrival order) to get a
+        # provisional urgency ranking, which then decides who actually wins
+        # the contended cores.
+        beta0 = compression_strategy(view, enable=cfg.compress)
+        gamma0 = self._unit_gammas(view, beta0, units)
+        provisional = np.argsort(
+            [g / p for (_, p), g in zip(units, gamma0)], kind="stable"
+        )
+        flow_order = np.concatenate([units[u][0] for u in provisional])
+
+        # Pass 2: definitive β honouring the urgency order, then final Γ.
+        beta = compression_strategy(view, enable=cfg.compress, order=flow_order)
+        gamma = self._unit_gammas(view, beta, units)
+        order = np.argsort(
+            [g / p for (_, p), g in zip(units, gamma)], kind="stable"
+        )
+        if cfg.aging in ("decay", "reset") and len(order) and view.trigger.is_preemption_point:
+            head_flow = units[order[0]][0][0]
+            head_cid = view.coflow_ids[head_flow]
+            for cs in view.coflows:
+                if cs.coflow_id == head_cid:
+                    if cfg.aging == "reset":
+                        cs.priority_class = 1.0
+                    else:  # decay: undo this event's upgrade and one more
+                        cs.priority_class = max(
+                            1.0, cs.priority_class / cfg.logbase**2
+                        )
+                    break
+
+        rates = self._allocate(view, units, order, gamma, beta)
+        self._last_served = {
+            cs.coflow_id: bool(
+                (rates[cs.flow_idx] > 0).any() or beta[cs.flow_idx].any()
+            )
+            for cs in view.coflows
+        }
+        return Allocation(rates=rates, compress=beta)
+
+    def _unit_gammas(self, view, beta, units) -> np.ndarray:
+        gamma_f = expected_fct(view, beta)
+        return np.asarray([float(gamma_f[idx].max()) for idx, _ in units])
+
+    def _allocate(self, view, units, order, gamma, beta) -> np.ndarray:
+        rem_in, rem_out = view.fresh_capacity()
+        extra = view.fresh_extra()
+        vol = view.volume
+        rates = np.zeros(view.num_flows)
+        sendable = ~beta & (vol > 0)
+        if self.config.rate_policy == "madd":
+            groups = [units[u][0][sendable[units[u][0]]] for u in order]
+            return ra.madd(
+                groups, view.src, view.dst, vol, rem_in, rem_out, extra=extra
+            )
+        if self.config.rate_policy == "minimal":
+            # Paper line 29: r = f.V / C.Γ_C — the minimum rate finishing the
+            # flow within its coflow's expected completion time.
+            dims = ra.build_dims(view.src, view.dst, rem_in, rem_out, extra)
+            for u in order:
+                idx, _ = units[u]
+                g = max(gamma[u], view.slice_len)
+                for i in idx:
+                    if not sendable[i]:
+                        continue
+                    r = min(vol[i] / g, ra.flow_headroom(i, dims))
+                    if r <= 0:
+                        continue
+                    rates[i] = r
+                    ra.consume(i, r, dims)
+            # Work conservation: hand out leftovers in priority order.
+            for u in order:
+                for i in units[u][0]:
+                    if not sendable[i]:
+                        continue
+                    headroom = ra.flow_headroom(i, dims)
+                    if headroom <= 0:
+                        continue
+                    rates[i] += headroom
+                    ra.consume(i, headroom, dims)
+            return rates
+        # "greedy": strict priority in unit order.
+        flow_order = [i for u in order for i in units[u][0] if sendable[i]]
+        return ra.greedy_priority(
+            np.asarray(flow_order, dtype=np.intp),
+            view.src, view.dst, rem_in, rem_out, extra=extra,
+        )

@@ -1,0 +1,309 @@
+"""Rate-allocation policies on the fabric's capacity constraints.
+
+Every scheduler in this library reduces to one of three primitives over a
+set of linear capacity *dimensions*:
+
+* :func:`greedy_priority` — serve flows in a strict priority order, each
+  taking as much of the remaining capacity as it can.  This is the
+  work-conserving preemptive-priority allocation used by FIFO, SRTF, PFP,
+  SEBF ("greedy" policy) and the backfill stages of MADD/FVDF.
+* :func:`maxmin_fair` — (weighted) max-min fairness via progressive
+  filling.  With unit weights this is Per-Flow Fairness (PFF/FAIR); with
+  weights proportional to flow size it is Orchestra's Weighted Shuffle
+  Scheduling (WSS).
+* :func:`madd` — Varys' Minimum-Allocation-for-Desired-Duration: each
+  coflow, in priority order, receives the *minimum* rates that finish all
+  its flows exactly at its bottleneck completion time, leaving the rest of
+  the fabric to lower-priority coflows.
+
+A *dimension* is a pair ``(groups, caps)``: ``groups[i]`` is the index of
+the constraint flow *i* occupies in that dimension (−1 = exempt) and
+``caps`` the per-constraint remaining capacity, mutated in place as rates
+are handed out.  The paper's big switch has exactly two dimensions —
+(src, ingress capacities) and (dst, egress capacities) — which the public
+signatures take directly; oversubscribed fabrics
+(:class:`repro.fabric.twotier.TwoTierFabric`) add rack-uplink dimensions
+through the ``extra`` parameter, and every policy honours them without
+change.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Relative epsilon used to decide saturation in iterative filling.
+_EPS = 1e-12
+
+#: One capacity dimension: (per-flow group index with -1 = exempt, caps).
+Dimension = Tuple[np.ndarray, np.ndarray]
+
+
+def build_dims(
+    src: np.ndarray,
+    dst: np.ndarray,
+    rem_in: np.ndarray,
+    rem_out: np.ndarray,
+    extra: Optional[Sequence[Dimension]],
+) -> List[Dimension]:
+    dims: List[Dimension] = [(src, rem_in), (dst, rem_out)]
+    if extra:
+        for groups, caps in extra:
+            dims.append((np.asarray(groups, dtype=np.intp), caps))
+    return dims
+
+
+def flow_headroom(i: int, dims: Sequence[Dimension]) -> float:
+    """Remaining end-to-end capacity available to flow ``i``."""
+    room = np.inf
+    for groups, caps in dims:
+        g = groups[i]
+        if g >= 0:
+            room = min(room, caps[g])
+    return float(max(room, 0.0))
+
+
+def consume(i: int, rate: float, dims: Sequence[Dimension]) -> None:
+    """Charge ``rate`` to every constraint flow ``i`` occupies."""
+    for groups, caps in dims:
+        g = groups[i]
+        if g >= 0:
+            caps[g] -= rate
+
+
+def greedy_priority(
+    order: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    rem_in: np.ndarray,
+    rem_out: np.ndarray,
+    demands: Optional[np.ndarray] = None,
+    extra: Optional[Sequence[Dimension]] = None,
+) -> np.ndarray:
+    """Strict-priority work-conserving allocation.
+
+    Parameters
+    ----------
+    order:
+        Flow indices from highest to lowest priority.
+    src, dst:
+        Per-flow port indices.
+    rem_in, rem_out:
+        Remaining capacities (mutated in place).
+    demands:
+        Optional per-flow rate cap (e.g. remaining volume / slice to avoid
+        allocating more than a flow can use).
+    extra:
+        Additional capacity dimensions (rack uplinks etc.).
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-flow rates aligned with ``src``/``dst`` (zeros for flows not in
+        ``order``).
+    """
+    dims = build_dims(src, dst, rem_in, rem_out, extra)
+    rates = np.zeros(len(src), dtype=np.float64)
+    for i in order:
+        r = flow_headroom(i, dims)
+        if demands is not None:
+            r = min(r, demands[i])
+        if r <= 0.0:
+            continue
+        rates[i] = r
+        consume(i, r, dims)
+    return rates
+
+
+def maxmin_fair(
+    src: np.ndarray,
+    dst: np.ndarray,
+    rem_in: np.ndarray,
+    rem_out: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    demands: Optional[np.ndarray] = None,
+    active: Optional[np.ndarray] = None,
+    extra: Optional[Sequence[Dimension]] = None,
+) -> np.ndarray:
+    """Weighted max-min fair rates via progressive filling.
+
+    Every active flow's rate grows proportionally to its weight until one
+    of its constraints saturates or it reaches its demand; saturated flows
+    freeze and filling continues.  Terminates after at most
+    ``num_flows + num_constraints`` rounds.
+
+    Parameters
+    ----------
+    weights:
+        Per-flow weights (default all ones).  WSS passes flow sizes.
+    demands:
+        Optional per-flow rate caps.
+    active:
+        Optional boolean mask restricting which flows participate.
+    extra:
+        Additional capacity dimensions.
+    """
+    n = len(src)
+    rates = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return rates
+    dims = build_dims(src, dst, rem_in, rem_out, extra)
+    if weights is None:
+        w = np.ones(n, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64).copy()
+        if np.any(w < 0):
+            raise ConfigurationError("weights must be non-negative")
+    live = np.ones(n, dtype=bool) if active is None else active.copy()
+    live &= w > 0
+    if demands is not None:
+        live &= demands > 0
+
+    while live.any():
+        w_live = np.where(live, w, 0.0)
+        # Per-constraint growth-rate limit lam = rem_cap / total weight.
+        lam_flow = np.full(n, np.inf)
+        for groups, caps in dims:
+            member = groups >= 0
+            gsum = np.bincount(
+                groups[member], weights=w_live[member], minlength=len(caps)
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                lam = np.where(gsum > 0, caps / gsum, np.inf)
+            lam_flow[member] = np.minimum(lam_flow[member], lam[groups[member]])
+        if demands is not None:
+            with np.errstate(divide="ignore"):
+                lam_demand = np.where(live, (demands - rates) / w, np.inf)
+            lam_flow = np.minimum(lam_flow, lam_demand)
+        lam_flow = np.where(live, lam_flow, np.inf)
+        lam_star = lam_flow.min()
+        if not np.isfinite(lam_star) or lam_star < 0:
+            break
+        inc = np.where(live, w * lam_star, 0.0)
+        rates += inc
+        newly_frozen = live & (lam_flow <= lam_star * (1 + 1e-9) + _EPS)
+        for groups, caps in dims:
+            member = groups >= 0
+            caps -= np.bincount(
+                groups[member], weights=inc[member], minlength=len(caps)
+            )
+            np.clip(caps, 0.0, None, out=caps)
+            sat = caps <= _EPS * (1 + caps)
+            newly_frozen |= live & member & sat[np.clip(groups, 0, None)] & member
+        if not newly_frozen.any():
+            break  # numerical guard; should not happen
+        live &= ~newly_frozen
+    return rates
+
+
+def coflow_gamma(
+    volumes: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    rem_in: np.ndarray,
+    rem_out: np.ndarray,
+    extra: Optional[Sequence[Dimension]] = None,
+) -> float:
+    """Bottleneck completion time of one coflow under given free capacity.
+
+    ``Γ = max_c (coflow bytes through constraint c) / (free capacity of c)``
+    over every dimension — infinite when some needed constraint has no
+    capacity left.
+    """
+    dims = build_dims(src, dst, rem_in, rem_out, extra)
+    gamma = 0.0
+    for groups, caps in dims:
+        member = groups >= 0
+        if not member.any():
+            continue
+        load = np.bincount(
+            groups[member], weights=volumes[member], minlength=len(caps)
+        )
+        used = load > 0
+        if not used.any():
+            continue
+        if np.any(caps[used] <= 0):
+            return float("inf")
+        gamma = max(gamma, float((load[used] / caps[used]).max()))
+    return gamma
+
+
+def madd(
+    coflow_order: Sequence[np.ndarray],
+    src: np.ndarray,
+    dst: np.ndarray,
+    volumes: np.ndarray,
+    rem_in: np.ndarray,
+    rem_out: np.ndarray,
+    backfill: bool = True,
+    extra: Optional[Sequence[Dimension]] = None,
+) -> np.ndarray:
+    """Minimum-Allocation-for-Desired-Duration (Varys) over a coflow order.
+
+    Parameters
+    ----------
+    coflow_order:
+        Coflows from highest to lowest priority; each entry is an array of
+        flow indices belonging to that coflow.
+    volumes:
+        Per-flow remaining volume (bytes).
+    backfill:
+        When ``True``, leftover capacity is handed out greedily in the
+        same priority order after the MADD pass (work conservation — Varys
+        does the same).
+    extra:
+        Additional capacity dimensions.
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-flow rates.
+    """
+    dims = build_dims(src, dst, rem_in, rem_out, extra)
+    rates = np.zeros(len(src), dtype=np.float64)
+    for idx in coflow_order:
+        idx = np.asarray(idx, dtype=np.intp)
+        if len(idx) == 0:
+            continue
+        vol = volumes[idx]
+        sendable = vol > 0
+        if not sendable.any():
+            continue
+        idx = idx[sendable]
+        vol = vol[sendable]
+        sub_dims = [(groups[idx], caps) for groups, caps in dims]
+        gamma = 0.0
+        for groups, caps in sub_dims:
+            member = groups >= 0
+            if not member.any():
+                continue
+            load = np.bincount(groups[member], weights=vol[member], minlength=len(caps))
+            used = load > 0
+            if not used.any():
+                continue
+            if np.any(caps[used] <= 0):
+                gamma = float("inf")
+                break
+            gamma = max(gamma, float((load[used] / caps[used]).max()))
+        if not np.isfinite(gamma) or gamma <= 0:
+            continue
+        r = vol / gamma
+        rates[idx] = r
+        for groups, caps in sub_dims:
+            member = groups >= 0
+            caps -= np.bincount(groups[member], weights=r[member], minlength=len(caps))
+            np.clip(caps, 0.0, None, out=caps)
+    if backfill:
+        flat = [i for idx in coflow_order for i in np.asarray(idx, dtype=np.intp)]
+        for i in flat:
+            if volumes[i] <= 0:
+                continue
+            headroom = flow_headroom(i, dims)
+            if headroom <= 0:
+                continue
+            rates[i] += headroom
+            consume(i, headroom, dims)
+    return rates

@@ -1,0 +1,150 @@
+"""Scheduler interface: what the engine asks, what schedulers answer.
+
+At every decision point the engine hands the scheduler a
+:class:`SchedulerView` — a read-only snapshot of all *active* flows in
+structure-of-arrays form plus per-coflow grouping, the fabric capacities and
+the free CPU cores — and receives an :class:`Allocation`: a rate per active
+flow and a compression flag per active flow.
+
+Contract (enforced by the engine):
+
+* rates are non-negative and respect every port capacity;
+* a flow either transmits (rate > 0) **or** compresses in a slice, never
+  both — the paper's exclusive β (Pseudocode 2 lines 26–32);
+* compression is only requested for compressible flows with raw bytes left,
+  and at most ``free_cores[node]`` flows compress per source node.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.compression.engine import CompressionEngine
+from repro.core.coflow import Coflow
+from repro.core.events import ScheduleTrigger
+from repro.fabric.bigswitch import BigSwitch
+
+
+@dataclass
+class CoflowState:
+    """Mutable per-coflow scheduling state exposed to schedulers.
+
+    Attributes
+    ----------
+    coflow:
+        The immutable coflow definition.
+    flow_idx:
+        Indices of this coflow's *unfinished* flows within the view's
+        active-flow arrays (refreshed at every decision point).
+    priority_class:
+        The paper's starvation-freedom class ``P`` (Pseudocode 3); owned by
+        the scheduler, persisted across decision points by the engine.
+    """
+
+    coflow: Coflow
+    flow_idx: np.ndarray
+    priority_class: float = 1.0
+
+    @property
+    def coflow_id(self) -> int:
+        return self.coflow.coflow_id
+
+
+@dataclass
+class SchedulerView:
+    """Read-only snapshot of the simulation at a decision point.
+
+    All per-flow arrays are aligned: index ``i`` describes the same active
+    flow everywhere.  ``volume = raw + comp`` is the paper's ``V``; ``xi`` is
+    each flow's *effective* compression ratio (its ``ratio_override`` if
+    set, otherwise the codec's size-dependent model).
+    """
+
+    time: float
+    slice_len: float
+    trigger: ScheduleTrigger
+    fabric: BigSwitch
+    flow_ids: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    raw: np.ndarray
+    comp: np.ndarray
+    xi: np.ndarray
+    size: np.ndarray
+    arrival: np.ndarray
+    coflow_ids: np.ndarray
+    compressible: np.ndarray
+    coflows: List[CoflowState]
+    free_cores: np.ndarray
+    compression: Optional[CompressionEngine]
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.flow_ids)
+
+    @property
+    def volume(self) -> np.ndarray:
+        """Remaining volume ``V = d + D`` per flow."""
+        return self.raw + self.comp
+
+    @property
+    def link_cap(self) -> np.ndarray:
+        """Per-flow end-to-end capacity ``min(B_s, B_r)``."""
+        return self.fabric.flow_link_cap(self.src, self.dst)
+
+    def fresh_capacity(self):
+        """Writable copies of (ingress, egress) capacities for allocation."""
+        return self.fabric.ingress.remaining(), self.fabric.egress.remaining()
+
+    def fresh_extra(self):
+        """Writable copies of the fabric's extra capacity dimensions.
+
+        Empty for the big switch; rack uplink/downlink constraints for
+        oversubscribed fabrics.  Pass as ``extra=`` to the allocation
+        primitives so every policy honours them.
+        """
+        return self.fabric.fresh_extra(self.src, self.dst)
+
+
+@dataclass
+class Allocation:
+    """A scheduler's answer: transmit rates and compression picks."""
+
+    rates: np.ndarray
+    compress: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.rates = np.asarray(self.rates, dtype=np.float64)
+        if self.compress is None:
+            self.compress = np.zeros(len(self.rates), dtype=bool)
+        else:
+            self.compress = np.asarray(self.compress, dtype=bool)
+
+    @classmethod
+    def idle(cls, n: int) -> "Allocation":
+        return cls(rates=np.zeros(n), compress=np.zeros(n, dtype=bool))
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling policies.
+
+    Subclasses set :attr:`name` (used in reports) and
+    :attr:`uses_compression` (whether the engine should offer CPU cores).
+    """
+
+    name: str = "scheduler"
+    uses_compression: bool = False
+
+    @abstractmethod
+    def schedule(self, view: SchedulerView) -> Allocation:
+        """Compute the allocation to hold until the next decision point."""
+
+    def reset(self) -> None:
+        """Clear any cross-run state (default: stateless)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

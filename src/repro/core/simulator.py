@@ -1,0 +1,672 @@
+"""Slice-based discrete-event simulation engine.
+
+The engine implements the paper's execution model (Section IV): time is
+divided into slices of length ``δ``; the master observes arrivals and
+completions, and re-runs the scheduler, only at slice boundaries.  Between
+two decision points the allocation is constant, so instead of stepping
+slice-by-slice the engine computes the next *interesting* instant (arrival,
+physical flow completion, raw-data exhaustion of a compressing flow, or the
+run horizon) in closed form and jumps to the first slice boundary at or
+after it.  The observable behaviour is identical to literal slice stepping —
+including the "time-slice waste" on sub-slice flows that the paper discusses
+— at a cost of O(decision points × active flows) instead of O(slices).
+
+Volume semantics (Section IV-A1):
+
+* a *transmitting* flow drains ``V = raw + comp`` at its allocated rate,
+  compressed bytes first (they were produced first);
+* a *compressing* flow consumes ``raw`` at the codec speed ``R`` and emits
+  ``R·ξ`` into ``comp`` — net drain ``R(1-ξ)`` (Eq. 1);
+* per slice a flow does one or the other, never both (the paper's β).
+
+Bookkeeping invariant, checked in tests: for every finished flow,
+``bytes_sent + (size - bytes_compressed_in·(1-ξ_eff)) == size`` — i.e.
+volume is conserved up to compression shrinkage.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compression.engine import CompressionEngine
+from repro.core.coflow import Coflow, CoflowResult
+from repro.core.events import ArrivalCalendar, EventKind, ScheduleTrigger
+from repro.core.flow import FlowResult
+from repro.core.scheduler import Allocation, CoflowState, Scheduler, SchedulerView
+from repro.cpu.cores import CpuModel
+from repro.cpu.monitor import UtilizationRecorder
+from repro.errors import ConfigurationError, SchedulingError, SimulationError
+from repro.fabric.bigswitch import BigSwitch
+
+#: Default slice length (paper Section VI-B3: 0.01 s).
+DEFAULT_SLICE = 0.01
+
+_PENDING, _ACTIVE, _DONE, _CANCELLED = 0, 1, 2, 3
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    flow_results: List[FlowResult]
+    coflow_results: List[CoflowResult]
+    makespan: float
+    decision_points: int
+    cpu_recorder: Optional[UtilizationRecorder] = None
+    ingress_bytes: Optional[np.ndarray] = None
+    egress_bytes: Optional[np.ndarray] = None
+
+    def port_utilization(self, capacity_in, capacity_out):
+        """Mean per-port utilization over the makespan (0..1 arrays).
+
+        ``bytes_sent / (capacity * makespan)`` per side — how evenly the
+        schedule spread load across the fabric.
+        """
+        if self.ingress_bytes is None or self.makespan <= 0:
+            return None, None
+        u_in = self.ingress_bytes / (np.asarray(capacity_in) * self.makespan)
+        u_out = self.egress_bytes / (np.asarray(capacity_out) * self.makespan)
+        return u_in, u_out
+
+    @property
+    def avg_fct(self) -> float:
+        if not self.flow_results:
+            return 0.0
+        return float(np.mean([f.fct for f in self.flow_results]))
+
+    @property
+    def avg_cct(self) -> float:
+        if not self.coflow_results:
+            return 0.0
+        return float(np.mean([c.cct for c in self.coflow_results]))
+
+    @property
+    def total_bytes_sent(self) -> float:
+        return float(sum(f.bytes_sent for f in self.flow_results))
+
+    @property
+    def total_bytes_original(self) -> float:
+        return float(sum(f.size for f in self.flow_results))
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Fraction of bytes kept off the wire by compression (Table VII)."""
+        orig = self.total_bytes_original
+        if orig <= 0:
+            return 0.0
+        return 1.0 - self.total_bytes_sent / orig
+
+
+class _CoflowRecord:
+    """Engine-internal live state of one submitted coflow."""
+
+    __slots__ = ("coflow", "global_idx", "remaining", "state", "finish_phys", "flow_results")
+
+    def __init__(self, coflow: Coflow, global_idx: np.ndarray):
+        self.coflow = coflow
+        self.global_idx = global_idx
+        self.remaining = len(global_idx)
+        self.state = CoflowState(coflow=coflow, flow_idx=np.empty(0, dtype=np.intp))
+        self.finish_phys = 0.0
+        self.flow_results: List[FlowResult] = []
+
+
+class SliceSimulator:
+    """The slice-granular coflow simulator.
+
+    Parameters
+    ----------
+    fabric:
+        The big-switch network.
+    scheduler:
+        The scheduling policy under test.
+    slice_len:
+        Slice length ``δ`` in seconds (default 10 ms, the paper's setting).
+    cpu:
+        CPU model; defaults to one idle ``cores_per_node=4`` node per
+        ingress port.  Required shape: one node per ingress port.
+    compression:
+        Compression engine offered to compression-aware schedulers.  A
+        default LZ4 engine is created when the scheduler declares
+        ``uses_compression`` and none is given.
+    sample_cpu:
+        Record per-node busy fractions at every decision point (Fig. 2).
+    """
+
+    def __init__(
+        self,
+        fabric: BigSwitch,
+        scheduler: Scheduler,
+        slice_len: float = DEFAULT_SLICE,
+        cpu: Optional[CpuModel] = None,
+        compression: Optional[CompressionEngine] = None,
+        sample_cpu: bool = False,
+    ):
+        if slice_len <= 0:
+            raise ConfigurationError(f"slice_len must be positive, got {slice_len}")
+        self.fabric = fabric
+        self.scheduler = scheduler
+        self.slice_len = float(slice_len)
+        self.cpu = cpu if cpu is not None else CpuModel(fabric.num_ingress)
+        if self.cpu.num_nodes != fabric.num_ingress:
+            raise ConfigurationError(
+                f"cpu has {self.cpu.num_nodes} nodes but fabric has "
+                f"{fabric.num_ingress} ingress ports"
+            )
+        if compression is None and scheduler.uses_compression:
+            compression = CompressionEngine()
+        self.compression = compression
+
+        # --- growable SoA flow store -----------------------------------------
+        self._cap = 0
+        self._n = 0
+        self._src = np.empty(0, dtype=np.intp)
+        self._dst = np.empty(0, dtype=np.intp)
+        self._size = np.empty(0, dtype=np.float64)
+        self._arrival = np.empty(0, dtype=np.float64)
+        self._compressible = np.empty(0, dtype=bool)
+        self._coflow_of = np.empty(0, dtype=np.int64)
+        self._flow_id = np.empty(0, dtype=np.int64)
+        self._raw = np.empty(0, dtype=np.float64)
+        self._comp = np.empty(0, dtype=np.float64)
+        self._xi = np.empty(0, dtype=np.float64)  # effective ratio per flow
+        self._bytes_sent = np.empty(0, dtype=np.float64)
+        self._comp_in = np.empty(0, dtype=np.float64)
+        self._comp_out = np.empty(0, dtype=np.float64)
+        self._start = np.empty(0, dtype=np.float64)
+        self._finish = np.empty(0, dtype=np.float64)
+        self._finish_phys = np.empty(0, dtype=np.float64)
+        self._state = np.empty(0, dtype=np.int8)
+
+        self._active: List[int] = []
+        self._cancelled: set = set()
+        self._cap_events: List = []
+        self._coflows: Dict[int, _CoflowRecord] = {}
+        self._calendar = ArrivalCalendar()
+        self._claim_nodes: List[int] = []  # nodes with a core claimed last window
+
+        self._k = 0  # current slice index; now == _k * slice_len
+        self._started = False
+        self._decision_points = 0
+        self._ingress_bytes = np.zeros(fabric.num_ingress)
+        self._egress_bytes = np.zeros(fabric.num_egress)
+        self._flow_results: List[FlowResult] = []
+        self._coflow_results: List[CoflowResult] = []
+        self._on_coflow_complete: List[Callable[[CoflowResult], None]] = []
+        self._on_flow_complete: List[Callable[[FlowResult], None]] = []
+        self._on_decision: List[Callable[[float], None]] = []
+        self._recorder = UtilizationRecorder(self.cpu.num_nodes) if sample_cpu else None
+
+    # ------------------------------------------------------------------ store
+    def _grow(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._cap:
+            return
+        new_cap = max(64, self._cap * 2, need)
+        for name in (
+            "_src", "_dst", "_size", "_arrival", "_compressible", "_coflow_of",
+            "_flow_id", "_raw", "_comp", "_xi", "_bytes_sent", "_comp_in",
+            "_comp_out", "_start", "_finish", "_finish_phys", "_state",
+        ):
+            old = getattr(self, name)
+            arr = np.zeros(new_cap, dtype=old.dtype)
+            arr[: self._n] = old[: self._n]
+            setattr(self, name, arr)
+        self._cap = new_cap
+
+    # ------------------------------------------------------------------- API
+    @property
+    def now(self) -> float:
+        """Current simulated time (always on the slice grid)."""
+        return self._k * self.slice_len
+
+    @property
+    def pending(self) -> bool:
+        """Whether any submitted work is still unfinished."""
+        return bool(self._active) or len(self._calendar) > 0
+
+    def on_coflow_complete(self, fn: Callable[[CoflowResult], None]) -> None:
+        """Register a completion callback (used by the cluster simulator)."""
+        self._on_coflow_complete.append(fn)
+
+    def on_flow_complete(self, fn: Callable[[FlowResult], None]) -> None:
+        self._on_flow_complete.append(fn)
+
+    def on_decision(self, fn: Callable[[float], None]) -> None:
+        """Register a hook fired at every decision point (before the
+        scheduler runs) — e.g. the Swallow daemons' measurement beat."""
+        self._on_decision.append(fn)
+
+    def submit(self, coflow: Coflow) -> None:
+        """Add a coflow to the workload; allowed any time before its arrival."""
+        if coflow.arrival < self.now - 1e-12:
+            raise ConfigurationError(
+                f"coflow {coflow.coflow_id} arrives at {coflow.arrival} "
+                f"but the simulation is already at {self.now}"
+            )
+        if coflow.coflow_id in self._coflows:
+            raise ConfigurationError(f"coflow {coflow.coflow_id} submitted twice")
+        n_new = len(coflow.flows)
+        self._grow(n_new)
+        g0 = self._n
+        for j, f in enumerate(coflow.flows):
+            g = g0 + j
+            self._src[g] = f.src
+            self._dst[g] = f.dst
+            self._size[g] = f.size
+            self._arrival[g] = f.arrival
+            self._compressible[g] = f.compressible
+            self._coflow_of[g] = coflow.coflow_id
+            self._flow_id[g] = f.flow_id
+            self._raw[g] = f.size
+            self._comp[g] = 0.0
+            if f.ratio_override is not None:
+                self._xi[g] = f.ratio_override
+            elif self.compression is not None:
+                self._xi[g] = self.compression.ratio(f.size)
+            else:
+                self._xi[g] = 1.0
+            self._state[g] = _PENDING
+        self._n += n_new
+        self.fabric.validate_endpoints(
+            self._src[g0 : self._n], self._dst[g0 : self._n]
+        )
+        idx = np.arange(g0, self._n, dtype=np.intp)
+        self._coflows[coflow.coflow_id] = _CoflowRecord(coflow, idx)
+        self._calendar.push(coflow)
+
+    def submit_many(self, coflows: Sequence[Coflow]) -> None:
+        for c in coflows:
+            self.submit(c)
+
+    def cancel_coflow(self, coflow_id: int) -> int:
+        """Abort a coflow: its unfinished flows leave the fabric now.
+
+        Models job kills and framework-level aborts (e.g. a Spark stage
+        failing mid-shuffle).  Flows that already completed keep their
+        results; the coflow itself never produces a
+        :class:`~repro.core.coflow.CoflowResult`.
+
+        Returns the number of flows cancelled.  Callable between
+        :meth:`run` calls or from completion callbacks.
+        """
+        rec = self._coflows.get(coflow_id)
+        if rec is None:
+            raise ConfigurationError(f"unknown coflow {coflow_id}")
+        if rec.remaining == 0:
+            raise ConfigurationError(
+                f"coflow {coflow_id} already completed; nothing to cancel"
+            )
+        cancelled = 0
+        for g in rec.global_idx:
+            if self._state[g] in (_PENDING, _ACTIVE):
+                self._state[g] = _CANCELLED
+                cancelled += 1
+        self._active = [g for g in self._active if self._coflow_of[g] != coflow_id]
+        rec.remaining = 0
+        self._cancelled.add(int(coflow_id))
+        return cancelled
+
+    @property
+    def cancelled_coflows(self) -> frozenset:
+        """Ids of coflows aborted via :meth:`cancel_coflow`."""
+        return frozenset(self._cancelled)
+
+    def schedule_capacity_change(
+        self, time: float, side: str, port: int, capacity: float
+    ) -> None:
+        """Change a port's capacity at a future instant (dynamic bandwidth).
+
+        Models background traffic coming and going — the condition the
+        Swallow daemons measure and the master adapts to.  The change is
+        applied at the first slice boundary at/after ``time`` and triggers
+        a rescheduling (``EventKind.CAPACITY``).
+
+        Parameters
+        ----------
+        side:
+            ``"ingress"`` or ``"egress"``.
+        """
+        if side not in ("ingress", "egress"):
+            raise ConfigurationError(f"side must be ingress/egress, got {side!r}")
+        if time < self.now - 1e-12:
+            raise ConfigurationError(
+                f"capacity change at {time} is in the past (now={self.now})"
+            )
+        if capacity <= 0:
+            raise ConfigurationError("capacity must stay positive")
+        heapq.heappush(self._cap_events, (float(time), side, int(port), float(capacity)))
+
+    def _apply_due_capacity_changes(self) -> bool:
+        applied = False
+        while self._cap_events and self._cap_events[0][0] <= self.now + 1e-12:
+            _, side, port, cap = heapq.heappop(self._cap_events)
+            getattr(self.fabric, side).set_capacity(port, cap)
+            applied = True
+        return applied
+
+    # ------------------------------------------------------------ main loop
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run until all submitted coflows finish (or ``until`` is reached).
+
+        Incremental use is supported: call :meth:`run` with a horizon,
+        :meth:`submit` more work, and call :meth:`run` again.
+        """
+        trigger = ScheduleTrigger({EventKind.START}) if not self._started else ScheduleTrigger()
+        self._started = True
+        while True:
+            # Jump over empty time if nothing is active.
+            if not self._active:
+                nxt = self._next_arrival()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self._jump_to(until)
+                    break
+                self._jump_to(nxt)
+            if until is not None and self.now >= until - 1e-12:
+                break
+
+            arrived = self._activate_due()
+            if arrived:
+                trigger.kinds.add(EventKind.ARRIVAL)
+            if self._apply_due_capacity_changes():
+                trigger.kinds.add(EventKind.CAPACITY)
+            if not self._active:
+                continue  # activation may still be empty (arrival just past `until`)
+
+            # The previous window is over: its compression cores are free
+            # for reassignment before the scheduler looks at the node state.
+            self._release_claims()
+            for fn in self._on_decision:
+                fn(self.now)
+            view = self._build_view(trigger)
+            alloc = self.scheduler.schedule(view)
+            self._validate(view, alloc)
+            self._apply_claims(view, alloc)
+            if self._recorder is not None:
+                self._recorder.sample_model(self.now, self.cpu)
+            self._decision_points += 1
+
+            n_slices, dt_kinds = self._horizon_slices(view, alloc, until)
+            boundary = (self._k + n_slices) * self.slice_len
+            self._integrate(view, alloc, n_slices * self.slice_len)
+            self._k += n_slices
+
+            trigger = ScheduleTrigger(dt_kinds & {EventKind.HORIZON})
+            completed = self._retire_finished(boundary)
+            if completed:
+                trigger.kinds.add(EventKind.COMPLETION)
+            if EventKind.RAW_EXHAUSTED in dt_kinds:
+                trigger.kinds.add(EventKind.RAW_EXHAUSTED)
+        self._release_claims()
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        return SimulationResult(
+            flow_results=list(self._flow_results),
+            coflow_results=list(self._coflow_results),
+            makespan=self.now,
+            decision_points=self._decision_points,
+            cpu_recorder=self._recorder,
+            ingress_bytes=self._ingress_bytes.copy(),
+            egress_bytes=self._egress_bytes.copy(),
+        )
+
+    # ------------------------------------------------------------- internals
+    def _jump_to(self, t: float) -> None:
+        """Advance the slice counter to the first boundary >= t."""
+        k = int(math.ceil(t / self.slice_len - 1e-9))
+        self._k = max(self._k, k)
+
+    def _next_arrival(self) -> Optional[float]:
+        """Earliest pending non-cancelled arrival."""
+        self._calendar.prune_head(lambda c: c.coflow_id in self._cancelled)
+        return self._calendar.peek_time()
+
+    def _activate_due(self) -> List[Coflow]:
+        due = [
+            c
+            for c in self._calendar.pop_due(self.now + 1e-12)
+            if c.coflow_id not in self._cancelled
+        ]
+        for coflow in due:
+            rec = self._coflows[coflow.coflow_id]
+            self._state[rec.global_idx] = _ACTIVE
+            self._start[rec.global_idx] = self.now
+            self._active.extend(int(g) for g in rec.global_idx)
+        return due
+
+    def _build_view(self, trigger: ScheduleTrigger) -> SchedulerView:
+        idx = np.asarray(self._active, dtype=np.intp)
+        coflow_ids = self._coflow_of[idx]
+        states: List[CoflowState] = []
+        # Group active positions by coflow, preserving coflow arrival order.
+        seen: Dict[int, List[int]] = {}
+        for pos, cid in enumerate(coflow_ids):
+            seen.setdefault(int(cid), []).append(pos)
+        for cid, positions in seen.items():
+            rec = self._coflows[cid]
+            rec.state.flow_idx = np.asarray(positions, dtype=np.intp)
+            states.append(rec.state)
+        states.sort(key=lambda s: (s.coflow.arrival, s.coflow_id))
+        free = self.cpu.free_cores(self.now)
+        return SchedulerView(
+            time=self.now,
+            slice_len=self.slice_len,
+            trigger=trigger,
+            fabric=self.fabric,
+            flow_ids=self._flow_id[idx],
+            src=self._src[idx],
+            dst=self._dst[idx],
+            raw=self._raw[idx].copy(),
+            comp=self._comp[idx].copy(),
+            xi=self._xi[idx],
+            size=self._size[idx],
+            arrival=self._arrival[idx],
+            coflow_ids=coflow_ids,
+            compressible=self._compressible[idx],
+            coflows=states,
+            free_cores=free,
+            compression=self.compression,
+        )
+
+    def _validate(self, view: SchedulerView, alloc: Allocation) -> None:
+        n = view.num_flows
+        if len(alloc.rates) != n or len(alloc.compress) != n:
+            raise SchedulingError(
+                f"{self.scheduler.name}: allocation length {len(alloc.rates)} "
+                f"!= {n} active flows"
+            )
+        if np.any(~np.isfinite(alloc.rates)):
+            raise SchedulingError(f"{self.scheduler.name}: non-finite rate")
+        self.fabric.check_feasible(view.src, view.dst, alloc.rates)
+        if np.any(alloc.compress & (alloc.rates > 0)):
+            raise SchedulingError(
+                f"{self.scheduler.name}: a flow may not compress and transmit "
+                "in the same slice (exclusive β)"
+            )
+        if alloc.compress.any():
+            if self.compression is None:
+                raise SchedulingError(
+                    f"{self.scheduler.name} requested compression but the "
+                    "simulator has no compression engine"
+                )
+            bad = alloc.compress & (~view.compressible | (view.raw <= 0))
+            if bad.any():
+                raise SchedulingError(
+                    f"{self.scheduler.name}: compression requested for an "
+                    "incompressible or fully-compressed flow"
+                )
+            counts = np.bincount(
+                view.src[alloc.compress], minlength=self.cpu.num_nodes
+            )
+            if np.any(counts > view.free_cores):
+                node = int(np.argmax(counts - view.free_cores))
+                raise SchedulingError(
+                    f"{self.scheduler.name}: node {node} granted "
+                    f"{counts[node]} compressions with only "
+                    f"{view.free_cores[node]} free cores"
+                )
+
+    def _apply_claims(self, view: SchedulerView, alloc: Allocation) -> None:
+        for pos in np.nonzero(alloc.compress)[0]:
+            node = int(view.src[pos])
+            self.cpu.claim(node)
+            self._claim_nodes.append(node)
+
+    def _release_claims(self) -> None:
+        for node in self._claim_nodes:
+            self.cpu.release(node)
+        self._claim_nodes.clear()
+
+    def _horizon_slices(self, view, alloc, until):
+        """Slices to advance until the next interesting boundary."""
+        dt_min = math.inf
+        kinds = set()
+        nxt = self._next_arrival()
+        if nxt is not None:
+            dt = max(nxt - self.now, 0.0)
+            if dt < dt_min:
+                dt_min, kinds = dt, {EventKind.ARRIVAL}
+        R = self.compression.speed if self.compression is not None else 0.0
+        vol = view.raw + view.comp
+        tx = alloc.rates > 0
+        if tx.any():
+            dt = float((vol[tx] / alloc.rates[tx]).min())
+            if dt < dt_min:
+                dt_min, kinds = dt, {EventKind.COMPLETION}
+        cz = alloc.compress
+        if cz.any() and R > 0:
+            dt = float((view.raw[cz] / R).min())
+            if dt < dt_min:
+                dt_min, kinds = dt, {EventKind.RAW_EXHAUSTED}
+        if self._cap_events:
+            dt = max(self._cap_events[0][0] - self.now, 0.0)
+            if dt < dt_min:
+                dt_min, kinds = dt, {EventKind.CAPACITY}
+        if until is not None:
+            dt = until - self.now
+            if dt < dt_min:
+                dt_min, kinds = dt, {EventKind.HORIZON}
+        if not math.isfinite(dt_min):
+            raise SimulationError(
+                f"{self.scheduler.name}: no flow transmits or compresses and "
+                "no arrival is pending — simulated time cannot advance "
+                f"(t={self.now:.6g}, {view.num_flows} active flows)"
+            )
+        n = max(1, int(math.ceil(dt_min / self.slice_len - 1e-9)))
+        return n, kinds
+
+    def _integrate(self, view: SchedulerView, alloc: Allocation, dt: float) -> None:
+        idx = np.asarray(self._active, dtype=np.intp)
+        rates = alloc.rates
+        # --- compression: raw -> comp, shrunk by xi --------------------------
+        cz = alloc.compress
+        if cz.any():
+            R = self.compression.speed
+            gi = idx[cz]
+            consumed = np.minimum(self._raw[gi], R * dt)
+            self._raw[gi] -= consumed
+            self._comp[gi] += consumed * self._xi[gi]
+            self._comp_in[gi] += consumed
+        # --- transmission: drain comp first, then raw -------------------------
+        tx = rates > 0
+        if tx.any():
+            gi = idx[tx]
+            vol_before = self._raw[gi] + self._comp[gi]
+            budget = rates[tx] * dt
+            sent = np.minimum(vol_before, budget)
+            done = sent >= vol_before - self._eps(gi)
+            # physical finish of completed flows
+            self._finish_phys[gi[done]] = self.now + vol_before[done] / rates[tx][done]
+            from_comp = np.minimum(self._comp[gi], sent)
+            self._comp[gi] -= from_comp
+            self._raw[gi] -= sent - from_comp
+            self._raw[gi] = np.maximum(self._raw[gi], 0.0)
+            self._comp[gi] = np.maximum(self._comp[gi], 0.0)
+            self._bytes_sent[gi] += sent
+            self._comp_out[gi] += from_comp
+            self._ingress_bytes += np.bincount(
+                self._src[gi], weights=sent, minlength=len(self._ingress_bytes)
+            )
+            self._egress_bytes += np.bincount(
+                self._dst[gi], weights=sent, minlength=len(self._egress_bytes)
+            )
+
+    def _eps(self, gi: np.ndarray) -> np.ndarray:
+        return 1e-9 * self._size[gi] + 1e-9
+
+    def _retire_finished(self, boundary: float) -> List[int]:
+        """Mark flows with zero volume done; close coflows; fire callbacks."""
+        finished_coflows: List[int] = []
+        idx = np.asarray(self._active, dtype=np.intp)
+        if len(idx) == 0:
+            return finished_coflows
+        vol = self._raw[idx] + self._comp[idx]
+        done_mask = vol <= self._eps(idx)
+        done_idx = idx[done_mask]
+        self._active = idx[~done_mask].tolist()
+        if len(done_idx) == 0:
+            return finished_coflows
+        self._state[done_idx] = _DONE
+        self._finish[done_idx] = boundary
+        unset = self._finish_phys[done_idx] == 0.0
+        self._finish_phys[done_idx[unset]] = boundary
+        for g in done_idx:
+            fr = self._make_flow_result(int(g))
+            self._flow_results.append(fr)
+            for fn in self._on_flow_complete:
+                fn(fr)
+            rec = self._coflows[self._coflow_of[g]]
+            rec.flow_results.append(fr)
+            rec.remaining -= 1
+            rec.finish_phys = max(rec.finish_phys, self._finish_phys[g])
+            if rec.remaining == 0:
+                finished_coflows.append(int(self._coflow_of[g]))
+        for cid in finished_coflows:
+            rec = self._coflows[cid]
+            gi = rec.global_idx
+            cr = CoflowResult(
+                coflow_id=cid,
+                label=rec.coflow.label,
+                arrival=rec.coflow.arrival,
+                finish=boundary,
+                finish_physical=rec.finish_phys,
+                size=float(self._size[gi].sum()),
+                width=len(gi),
+                bytes_sent=float(self._bytes_sent[gi].sum()),
+                flow_results=list(rec.flow_results),
+                deadline=rec.coflow.deadline,
+            )
+            self._coflow_results.append(cr)
+            for fn in self._on_coflow_complete:
+                fn(cr)
+        return finished_coflows
+
+    def _make_flow_result(self, g: int) -> FlowResult:
+        decompress = 0.0
+        if self.compression is not None and self._comp_out[g] > 0:
+            decompress = float(
+                self._comp_out[g] / self.compression.codec.decompression_speed
+            )
+        return FlowResult(
+            flow_id=int(self._flow_id[g]),
+            coflow_id=int(self._coflow_of[g]),
+            src=int(self._src[g]),
+            dst=int(self._dst[g]),
+            size=float(self._size[g]),
+            arrival=float(self._arrival[g]),
+            start=float(self._start[g]),
+            finish=float(self._finish[g]),
+            finish_physical=float(self._finish_phys[g]),
+            bytes_sent=float(self._bytes_sent[g]),
+            bytes_compressed_in=float(self._comp_in[g]),
+            bytes_compressed_out=float(self._comp_out[g]),
+            decompress_time=decompress,
+        )

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid parameters."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler returned an infeasible or malformed allocation."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state.
+
+    The classic instance: every active flow has zero rate, no compression is
+    running and no arrival is pending, so simulated time can never advance.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A workload trace file could not be parsed."""
+
+
+class ProtocolError(ReproError):
+    """The Swallow master/worker message protocol was violated."""

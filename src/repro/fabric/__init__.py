@@ -1,0 +1,7 @@
+"""Datacenter network substrate: the big-switch fabric model (paper Fig. 3)."""
+
+from repro.fabric.bigswitch import BigSwitch, FEASIBILITY_RTOL
+from repro.fabric.ports import PortSet, port_loads
+from repro.fabric.twotier import TwoTierFabric
+
+__all__ = ["BigSwitch", "TwoTierFabric", "PortSet", "port_loads", "FEASIBILITY_RTOL"]

@@ -1,0 +1,113 @@
+"""The giant non-blocking switch abstraction (paper Fig. 3).
+
+The datacenter fabric is modelled as one logical switch interconnecting all
+machines: machine *i*'s uplink is ingress port *i*, its downlink egress port
+*i*.  The fabric core is non-blocking, so the only constraints on a rate
+allocation are the per-port capacities:
+
+    sum of rates of flows with src == p  <=  ingress capacity of p
+    sum of rates of flows with dst == p  <=  egress capacity of p
+
+This is the standard model of Varys, Aalo and the coflow literature.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.fabric.ports import ArrayLike, PortSet, port_loads
+
+#: Relative tolerance accepted on port-capacity feasibility checks.
+FEASIBILITY_RTOL = 1e-6
+
+
+class BigSwitch:
+    """An ``n_in x n_out`` non-blocking fabric with per-port capacities.
+
+    Parameters
+    ----------
+    num_ports:
+        Number of machines; creates symmetric ingress/egress sides.
+    bandwidth:
+        Scalar or per-port link speed, bytes/s.  Applied to both sides
+        unless ``egress_bandwidth`` is given.
+    egress_bandwidth:
+        Optional distinct egress-side capacity.
+    num_egress_ports:
+        Optional distinct egress port count (asymmetric fabrics, e.g. the
+        ``m x r`` shuffle view).
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        bandwidth: ArrayLike,
+        egress_bandwidth: Optional[ArrayLike] = None,
+        num_egress_ports: Optional[int] = None,
+    ):
+        self.ingress = PortSet(num_ports, bandwidth)
+        self.egress = PortSet(
+            num_egress_ports if num_egress_ports is not None else num_ports,
+            egress_bandwidth if egress_bandwidth is not None else bandwidth,
+        )
+
+    @property
+    def num_ingress(self) -> int:
+        return len(self.ingress)
+
+    @property
+    def num_egress(self) -> int:
+        return len(self.egress)
+
+    def validate_endpoints(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Raise if any flow references a non-existent port."""
+        if len(src) and (src.min() < 0 or src.max() >= self.num_ingress):
+            raise ConfigurationError("flow src out of range for fabric")
+        if len(dst) and (dst.min() < 0 or dst.max() >= self.num_egress):
+            raise ConfigurationError("flow dst out of range for fabric")
+
+    def check_feasible(self, src: np.ndarray, dst: np.ndarray, rates: np.ndarray) -> None:
+        """Verify a rate vector respects every port capacity.
+
+        Raises
+        ------
+        SchedulingError
+            If any ingress or egress port is oversubscribed beyond
+            :data:`FEASIBILITY_RTOL`.
+        """
+        if len(rates) == 0:
+            return
+        if np.any(rates < 0):
+            raise SchedulingError("negative rate in allocation")
+        in_load = port_loads(src, rates, self.num_ingress)
+        out_load = port_loads(dst, rates, self.num_egress)
+        in_cap = self.ingress.capacity
+        out_cap = self.egress.capacity
+        in_over = in_load > in_cap * (1 + FEASIBILITY_RTOL)
+        out_over = out_load > out_cap * (1 + FEASIBILITY_RTOL)
+        if np.any(in_over):
+            p = int(np.argmax(in_load - in_cap))
+            raise SchedulingError(
+                f"ingress port {p} oversubscribed: {in_load[p]:.6g} > {in_cap[p]:.6g} B/s"
+            )
+        if np.any(out_over):
+            p = int(np.argmax(out_load - out_cap))
+            raise SchedulingError(
+                f"egress port {p} oversubscribed: {out_load[p]:.6g} > {out_cap[p]:.6g} B/s"
+            )
+
+    def flow_link_cap(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Per-flow end-to-end link capacity ``min(B_s, B_r)`` (Eq. 2)."""
+        return np.minimum(self.ingress.capacity[src], self.egress.capacity[dst])
+
+    def fresh_extra(self, src: np.ndarray, dst: np.ndarray) -> list:
+        """Additional capacity dimensions beyond the two port sides.
+
+        The ideal big switch has none; oversubscribed fabrics
+        (:class:`repro.fabric.twotier.TwoTierFabric`) return their rack
+        uplink/downlink constraints here, as writable fresh copies.
+        """
+        return []

@@ -1,0 +1,121 @@
+"""Coflow-level baselines: PFF, WSS, FIFO, PFP, SEBF, SCF, NCF, LCF.
+
+The comparison set of Fig. 4, Fig. 6(e) and Table VI.  PFF/WSS/PFP are
+coflow-*agnostic* (they act on flows and are simply *measured* at coflow
+granularity); FIFO/SEBF/SCF/NCF/LCF order whole coflows.
+
+``SEBF`` is Varys' Smallest-Effective-Bottleneck-First: a coflow's priority
+is its bottleneck completion time ``Γ = max_port load/cap`` computed from
+*remaining* volumes, so priorities sharpen as coflows drain.
+
+``LCF`` is never defined in the paper (Table VI lumps "SCF/NCF/LCF"); we
+implement Least-Contention-First — fewest ports shared with other active
+coflows — and record the interpretation in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+import numpy as np
+
+from repro.core import rate_allocation as ra
+from repro.core.scheduler import CoflowState, SchedulerView
+from repro.schedulers.base import OrderedCoflowScheduler
+from repro.schedulers.flow_level import FlowFAIR, FlowPFP, FlowWSS
+
+
+class CoflowPFF(FlowFAIR):
+    """Per-Flow Fairness measured at coflow granularity (same allocation)."""
+
+    name = "pff"
+
+
+class CoflowWSS(FlowWSS):
+    """Weighted Shuffle Scheduling measured at coflow granularity."""
+
+    name = "wss"
+
+
+class CoflowPFP(FlowPFP):
+    """Per-flow smallest-size-first measured at coflow granularity."""
+
+    name = "pfp"
+
+
+class CoflowFIFO(OrderedCoflowScheduler):
+    """Whole-coflow FIFO: the earliest-arrived coflow owns the fabric."""
+
+    name = "coflow-fifo"
+
+    def coflow_key(self, view: SchedulerView, cs: CoflowState) -> float:
+        return cs.coflow.arrival
+
+
+class SEBF(OrderedCoflowScheduler):
+    """Varys' Smallest-Effective-Bottleneck-First."""
+
+    name = "sebf"
+
+    def coflow_key(self, view: SchedulerView, cs: CoflowState) -> float:
+        idx = cs.flow_idx
+        vol = view.volume[idx]
+        extra = [
+            (groups[idx], caps) for groups, caps in view.fresh_extra()
+        ]
+        return ra.coflow_gamma(
+            vol,
+            view.src[idx],
+            view.dst[idx],
+            view.fabric.ingress.capacity,
+            view.fabric.egress.capacity,
+            extra=extra,
+        )
+
+
+class SCF(OrderedCoflowScheduler):
+    """Smallest-Coflow-First: total remaining bytes ascending."""
+
+    name = "scf"
+
+    def coflow_key(self, view: SchedulerView, cs: CoflowState) -> float:
+        return float(view.volume[cs.flow_idx].sum())
+
+
+class NCF(OrderedCoflowScheduler):
+    """Narrowest-Coflow-First: smallest width (static member count) first.
+
+    Width is a static property of the coflow — using the *remaining* flow
+    count instead would flip priorities mid-run as wide coflows drain.
+    """
+
+    name = "ncf"
+
+    def coflow_key(self, view: SchedulerView, cs: CoflowState) -> float:
+        return float(cs.coflow.width)
+
+
+class LCF(OrderedCoflowScheduler):
+    """Least-Contention-First: fewest ports shared with other coflows."""
+
+    name = "lcf"
+
+    def _port_sets(self, view: SchedulerView):
+        sets = {}
+        for cs in view.coflows:
+            idx = cs.flow_idx
+            eps: Set[Tuple[str, int]] = set()
+            eps.update(("in", int(p)) for p in view.src[idx])
+            eps.update(("out", int(p)) for p in view.dst[idx])
+            sets[cs.coflow_id] = eps
+        return sets
+
+    def coflow_key(self, view: SchedulerView, cs: CoflowState) -> float:
+        sets = self._port_sets(view)
+        mine = sets[cs.coflow_id]
+        contention = 0
+        for cid, other in sets.items():
+            if cid == cs.coflow_id:
+                continue
+            contention += len(mine & other)
+        return float(contention)

@@ -1,0 +1,83 @@
+"""Flow-level baselines: FIFO, FAIR, SRTF, PFP, WSS.
+
+These are the paper's flow-granularity comparison points (Fig. 4, Fig. 6a–d):
+
+* **FIFO** — Spark's default: flows served strictly in arrival order
+  (head-of-line blocking included free of charge).
+* **FAIR** — Spark's fair scheduler / Per-Flow Fairness: max-min fair
+  rates across all active flows.
+* **SRTF** — Shortest-Remaining-Time-First, the provably optimal policy
+  for average FCT on a single link (Section IV-A4).
+* **PFP** — Per-Flow Prioritization à la pFabric: smallest *original* flow
+  size first (a static priority, unlike SRTF's dynamic remaining size).
+* **WSS** — Orchestra's Weighted Shuffle Scheduling: max-min with weights
+  proportional to flow size, so flows of one shuffle finish together.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core import rate_allocation as ra
+from repro.core.scheduler import Allocation, Scheduler, SchedulerView
+from repro.schedulers.base import OrderedFlowScheduler
+
+
+class FlowFIFO(OrderedFlowScheduler):
+    """First-In First-Out over flows (arrival time, then flow id)."""
+
+    name = "fifo"
+
+    def flow_keys(self, view: SchedulerView) -> List[np.ndarray]:
+        return [view.arrival, view.flow_ids.astype(np.float64)]
+
+
+class FlowSRTF(OrderedFlowScheduler):
+    """Shortest-Remaining-Time-First (remaining volume ascending)."""
+
+    name = "srtf"
+
+    def flow_keys(self, view: SchedulerView) -> List[np.ndarray]:
+        return [view.volume, view.arrival, view.flow_ids.astype(np.float64)]
+
+
+class FlowPFP(OrderedFlowScheduler):
+    """Per-Flow Prioritization: smallest original size first (pFabric)."""
+
+    name = "pfp"
+
+    def flow_keys(self, view: SchedulerView) -> List[np.ndarray]:
+        return [view.size, view.arrival, view.flow_ids.astype(np.float64)]
+
+
+class FlowFAIR(Scheduler):
+    """Max-min fair sharing across all active flows (PFF / Spark FAIR)."""
+
+    name = "fair"
+
+    def schedule(self, view: SchedulerView) -> Allocation:
+        if view.num_flows == 0:
+            return Allocation.idle(0)
+        rem_in, rem_out = view.fresh_capacity()
+        rates = ra.maxmin_fair(
+            view.src, view.dst, rem_in, rem_out, extra=view.fresh_extra()
+        )
+        return Allocation(rates=rates)
+
+
+class FlowWSS(Scheduler):
+    """Weighted Shuffle Scheduling: size-weighted max-min (Orchestra)."""
+
+    name = "wss"
+
+    def schedule(self, view: SchedulerView) -> Allocation:
+        if view.num_flows == 0:
+            return Allocation.idle(0)
+        rem_in, rem_out = view.fresh_capacity()
+        rates = ra.maxmin_fair(
+            view.src, view.dst, rem_in, rem_out, weights=view.size,
+            extra=view.fresh_extra(),
+        )
+        return Allocation(rates=rates)

@@ -1,0 +1,26 @@
+"""sparklite: a mini data-parallel framework shuffling through Swallow.
+
+The reproduction's analogue of the paper's Spark-2.2.0 integration —
+see :class:`~repro.sparklite.engine.SparkLiteContext`.
+"""
+
+from repro.sparklite.engine import ShuffleReport, SparkLiteContext
+from repro.sparklite.partition import (
+    HashPartitioner,
+    RangePartitioner,
+    bucket_by_key,
+    split_evenly,
+    stable_hash,
+)
+from repro.sparklite.rdd import RDD, MappedRDD, ShuffledRDD, SourceRDD
+from repro.sparklite.serializer import deserialize_block, serialize_block
+from repro.sparklite.stages import StagePlan, build_stages, num_stages
+
+__all__ = [
+    "SparkLiteContext", "ShuffleReport",
+    "RDD", "SourceRDD", "MappedRDD", "ShuffledRDD",
+    "HashPartitioner", "RangePartitioner", "stable_hash",
+    "split_evenly", "bucket_by_key",
+    "serialize_block", "deserialize_block",
+    "StagePlan", "build_stages", "num_stages",
+]

@@ -1,0 +1,98 @@
+"""Partitions and partitioners for the sparklite mini-framework.
+
+A partition is just a list of records; a partitioner maps a key to a
+reducer partition index.  Hash partitioning uses a stable (non-salted)
+hash so runs are reproducible across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Hashable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+Record = Any
+
+
+def stable_hash(key: Hashable) -> int:
+    """Deterministic hash (Python's builtin is salted per process)."""
+    data = repr(key).encode()
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashPartitioner:
+    """Assign keys to ``num_partitions`` buckets by stable hash."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions <= 0:
+            raise ConfigurationError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+
+    def __call__(self, key: Hashable) -> int:
+        return stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, HashPartitioner)
+            and other.num_partitions == self.num_partitions
+        )
+
+
+class RangePartitioner:
+    """Assign keys to ordered buckets via precomputed boundaries.
+
+    ``bounds`` are the upper-exclusive boundaries of the first n−1 buckets
+    (Spark's sortByKey partitioner).  Keys must be mutually comparable.
+    """
+
+    def __init__(self, bounds: Sequence[Hashable]):
+        self.bounds = list(bounds)
+        self.num_partitions = len(self.bounds) + 1
+
+    @classmethod
+    def from_keys(cls, keys: Sequence[Hashable], num_partitions: int) -> "RangePartitioner":
+        if num_partitions <= 0:
+            raise ConfigurationError("num_partitions must be positive")
+        ordered = sorted(keys)
+        if not ordered or num_partitions == 1:
+            return cls([])
+        step = len(ordered) / num_partitions
+        bounds = [ordered[int(step * i)] for i in range(1, num_partitions)]
+        return cls(bounds)
+
+    def __call__(self, key: Hashable) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key < self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+
+def split_evenly(records: Sequence[Record], num_partitions: int) -> List[List[Record]]:
+    """Deal records round-robin into partitions (parallelize())."""
+    if num_partitions <= 0:
+        raise ConfigurationError("num_partitions must be positive")
+    parts: List[List[Record]] = [[] for _ in range(num_partitions)]
+    for i, r in enumerate(records):
+        parts[i % num_partitions].append(r)
+    return parts
+
+
+def bucket_by_key(
+    records: Sequence[Record], partitioner: Callable[[Hashable], int], n: int
+) -> List[List[Record]]:
+    """Split key-value records into shuffle buckets by key."""
+    buckets: List[List[Record]] = [[] for _ in range(n)]
+    for rec in records:
+        try:
+            key = rec[0]
+        except (TypeError, IndexError):
+            raise ConfigurationError(
+                f"shuffle requires (key, value) records, got {rec!r}"
+            ) from None
+        buckets[partitioner(key)].append(rec)
+    return buckets

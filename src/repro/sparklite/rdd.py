@@ -1,0 +1,155 @@
+"""RDD lineage: lazy, immutable datasets with narrow and shuffle deps.
+
+A tiny but genuine subset of the Spark programming model — enough to write
+the HiBench-style applications the paper motivates (wordcount, sort,
+pagerank-ish aggregations) and run their shuffles through Swallow:
+
+* narrow transformations (``map``, ``filter``, ``flat_map``,
+  ``map_values``) chain within one stage and are pipelined per partition;
+* ``reduce_by_key`` / ``group_by_key`` / ``sort_by_key`` introduce a
+  shuffle dependency — a stage boundary whose data movement becomes a
+  coflow;
+* actions (``collect``, ``count``) hand the lineage to a
+  :class:`~repro.sparklite.engine.SparkLiteContext` for execution.
+
+RDDs are pure lineage descriptions; nothing computes until an action runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sparklite.partition import HashPartitioner
+
+_rdd_ids = itertools.count()
+
+
+class RDD:
+    """A node in the lineage DAG.
+
+    Attributes
+    ----------
+    parent:
+        Upstream RDD (None for data sources).
+    num_partitions:
+        Parallelism of this dataset.
+    """
+
+    def __init__(self, ctx, parent: Optional["RDD"], num_partitions: int):
+        if num_partitions <= 0:
+            raise ConfigurationError("num_partitions must be positive")
+        self.ctx = ctx
+        self.parent = parent
+        self.num_partitions = num_partitions
+        self.rdd_id = next(_rdd_ids)
+
+    # -- narrow transformations -------------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Apply ``fn`` to every record."""
+        return MappedRDD(self, lambda recs: [fn(r) for r in recs])
+
+    def flat_map(self, fn: Callable[[Any], Sequence[Any]]) -> "RDD":
+        """Apply ``fn`` and flatten the resulting sequences."""
+        return MappedRDD(self, lambda recs: [x for r in recs for x in fn(r)])
+
+    def filter(self, pred: Callable[[Any], bool]) -> "RDD":
+        """Keep records satisfying ``pred``."""
+        return MappedRDD(self, lambda recs: [r for r in recs if pred(r)])
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Apply ``fn`` to the value of every (key, value) record."""
+        return MappedRDD(self, lambda recs: [(k, fn(v)) for k, v in recs])
+
+    # -- shuffle transformations --------------------------------------------------
+    def reduce_by_key(
+        self, fn: Callable[[Any, Any], Any], num_partitions: Optional[int] = None
+    ) -> "RDD":
+        """Combine values per key with ``fn`` (map-side pre-aggregation +
+        shuffle + reduce-side merge, like Spark's combiners)."""
+        return ShuffledRDD(
+            self, num_partitions or self.num_partitions, reduce_fn=fn
+        )
+
+    def group_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
+        """Collect all values per key into a list."""
+        return ShuffledRDD(
+            self, num_partitions or self.num_partitions, reduce_fn=None
+        )
+
+    def sort_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
+        """Globally sort (key, value) records by key (shuffle + local sort)."""
+        return ShuffledRDD(
+            self, num_partitions or self.num_partitions, reduce_fn=None,
+            sort=True,
+        )
+
+    # -- composites ------------------------------------------------------------------
+    def distinct(self, num_partitions: Optional[int] = None) -> "RDD":
+        """Remove duplicate records (hashable), via a shuffle."""
+        return (
+            self.map(lambda r: (r, None))
+            .reduce_by_key(lambda a, b: a, num_partitions)
+            .map(lambda kv: kv[0])
+        )
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        """Deterministic pseudo-random subsample (keeps ~``fraction``)."""
+        if not 0 <= fraction <= 1:
+            raise ConfigurationError("fraction must lie in [0, 1]")
+        from repro.sparklite.partition import stable_hash
+
+        threshold = int(fraction * (1 << 32))
+        return self.filter(
+            lambda r: stable_hash((seed, r)) % (1 << 32) < threshold
+        )
+
+    # -- actions -------------------------------------------------------------------
+    def collect(self) -> List[Any]:
+        """Execute the lineage and return all records."""
+        return self.ctx.run(self)
+
+    def count(self) -> int:
+        """Execute the lineage and return the record count."""
+        return len(self.collect())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} id={self.rdd_id} parts={self.num_partitions}>"
+
+
+class SourceRDD(RDD):
+    """A parallelized in-memory collection."""
+
+    def __init__(self, ctx, partitions: List[List[Any]]):
+        super().__init__(ctx, parent=None, num_partitions=len(partitions))
+        self.partitions = partitions
+
+
+class MappedRDD(RDD):
+    """A narrow transformation: per-partition record function."""
+
+    def __init__(self, parent: RDD, transform: Callable[[List[Any]], List[Any]]):
+        super().__init__(parent.ctx, parent, parent.num_partitions)
+        self.transform = transform
+
+
+class ShuffledRDD(RDD):
+    """A shuffle dependency (stage boundary).
+
+    ``reduce_fn`` enables map-side combining and reduce-side merging; when
+    ``None``, values are grouped into lists (``sort=True`` instead sorts
+    raw records by key).
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        num_partitions: int,
+        reduce_fn: Optional[Callable[[Any, Any], Any]],
+        sort: bool = False,
+    ):
+        super().__init__(parent.ctx, parent, num_partitions)
+        self.reduce_fn = reduce_fn
+        self.sort = sort
+        self.partitioner = HashPartitioner(num_partitions)

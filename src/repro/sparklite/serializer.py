@@ -1,0 +1,32 @@
+"""Record serialization for shuffle blocks (the Kryo stand-in).
+
+Swallow moves *bytes*; sparklite's shuffle blocks are real serialized
+record lists, so flow sizes in the simulated network equal the true
+payload sizes and the (optional) byte-level compression in the Swallow
+workers operates on genuine data.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, List
+
+from repro.errors import TraceFormatError
+
+
+def serialize_block(records: List[Any]) -> bytes:
+    """Serialize one shuffle bucket."""
+    return pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize_block(blob: bytes) -> List[Any]:
+    """Inverse of :func:`serialize_block`."""
+    try:
+        records = pickle.loads(blob)
+    except Exception as exc:  # corrupted payload is a protocol failure
+        raise TraceFormatError(f"corrupt shuffle block: {exc}") from exc
+    if not isinstance(records, list):
+        raise TraceFormatError(
+            f"shuffle block decoded to {type(records).__name__}, expected list"
+        )
+    return records

@@ -1,0 +1,63 @@
+"""Lineage analysis: split an RDD chain into shuffle-bounded stages.
+
+Walking from an action's RDD back to its source yields alternating runs of
+narrow transformations separated by shuffle dependencies — exactly Spark's
+stage construction for linear lineages (sparklite does not implement
+multi-parent joins, so the DAG is a chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sparklite.rdd import RDD, MappedRDD, ShuffledRDD, SourceRDD
+
+
+@dataclass
+class StagePlan:
+    """One executable stage.
+
+    Attributes
+    ----------
+    shuffle:
+        The shuffle dependency feeding this stage (``None`` for the first
+        stage, which reads the source partitions directly).
+    transforms:
+        Narrow per-partition record functions, applied in order after the
+        stage's input is materialised.
+    """
+
+    shuffle: Optional[ShuffledRDD]
+    transforms: List[Callable] = field(default_factory=list)
+
+
+def build_stages(rdd: RDD) -> Tuple[SourceRDD, List[StagePlan]]:
+    """Decompose a lineage chain into (source, ordered stage plans)."""
+    # Walk to the root, collecting nodes in reverse order.
+    chain: List[RDD] = []
+    node: Optional[RDD] = rdd
+    while node is not None:
+        chain.append(node)
+        node = node.parent
+    chain.reverse()
+    if not isinstance(chain[0], SourceRDD):
+        raise ConfigurationError(
+            f"lineage must start at a parallelized source, found {chain[0]!r}"
+        )
+    source = chain[0]
+    plans: List[StagePlan] = [StagePlan(shuffle=None)]
+    for node in chain[1:]:
+        if isinstance(node, ShuffledRDD):
+            plans.append(StagePlan(shuffle=node))
+        elif isinstance(node, MappedRDD):
+            plans[-1].transforms.append(node.transform)
+        else:
+            raise ConfigurationError(f"unexpected lineage node {node!r}")
+    return source, plans
+
+
+def num_stages(rdd: RDD) -> int:
+    """How many stages an action on ``rdd`` will run."""
+    return len(build_stages(rdd)[1])

@@ -1,0 +1,246 @@
+"""SwallowContext — the Table IV programming API.
+
+This is the object cluster frameworks interact with (paper §V-B)::
+
+    sc = SwallowContext(num_nodes=4, bandwidth=gbps(1))
+    infos = sc.hook(executor)          # Driver
+    cinfo = sc.aggregate(infos)        # Driver
+    ref = sc.add(cinfo)                # Driver
+    plan = sc.scheduling([ref])        # Driver
+    sc.alloc(plan)                     # ClusterManager
+    sc.push(ref, block_id, payload)    # Sender
+    data = sc.pull(ref, block_id)      # Receiver
+    sc.remove(ref)                     # Driver
+
+Division of labour: the **master** makes decisions from aggregated
+information; the **engine** (a :class:`~repro.core.simulator.SliceSimulator`
+running the FVDF scheduler) is the physics that carries the transfer out;
+**workers** hold the actual block bytes between push and pull, optionally
+compressing them for real.  ``pull()`` is time-decoupled as in the paper:
+it drives the simulation forward until the requested block's coflow has
+finished transferring, then hands over (and decompresses) the data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compression.engine import CompressionEngine
+from repro.core.coflow import Coflow
+from repro.core.flow import Flow
+from repro.core.fvdf import FVDFConfig, FVDFScheduler
+from repro.core.simulator import SliceSimulator
+from repro.cpu.cores import CpuModel
+from repro.errors import ConfigurationError, ProtocolError
+from repro.fabric.bigswitch import BigSwitch
+from repro.swallow.master import SwallowMaster
+from repro.swallow.messages import (
+    BlockId,
+    CallBackMsg,
+    CoflowInfo,
+    CoflowRef,
+    FlowInfo,
+    PushMsg,
+    SchResult,
+)
+from repro.swallow.transport import MessageBus
+from repro.swallow.worker import Executor, SwallowWorker, hook_executor
+from repro.units import gbps
+
+
+class SwallowContext:
+    """A Swallow-enabled cluster in one object.
+
+    Parameters
+    ----------
+    num_nodes:
+        Machines (fabric ports / workers).
+    bandwidth:
+        Per-port link speed, bytes/s.
+    smart_compress:
+        The ``swallow.smartCompress`` option; ``False`` disables all
+        compression decisions.
+    codec:
+        Codec name for the compression engine (default LZ4, as shipped).
+    real_compression:
+        Also run pushed payload bytes through a real codec (zlib) so pull()
+        exercises genuine decompression.
+    auto_heartbeat:
+        Have the worker daemons report node status to the master at every
+        engine decision point (the paper's periodic measurement messages),
+        instead of only on explicit :meth:`heartbeat` calls.
+    """
+
+    _instance: Optional["SwallowContext"] = None
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        bandwidth: float = gbps(1),
+        smart_compress: bool = True,
+        codec: str = "lz4",
+        slice_len: float = 0.01,
+        cores_per_node: int = 4,
+        real_compression: bool = False,
+        auto_heartbeat: bool = False,
+    ):
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        self.bus = MessageBus()
+        self.fabric = BigSwitch(num_nodes, bandwidth)
+        self.cpu = CpuModel(num_nodes, cores_per_node=cores_per_node)
+        self.compression = (
+            CompressionEngine(codec) if smart_compress else None
+        )
+        self.engine = SliceSimulator(
+            self.fabric,
+            FVDFScheduler(FVDFConfig(compress=smart_compress)),
+            slice_len=slice_len,
+            cpu=self.cpu,
+            compression=self.compression,
+        )
+        self.master = SwallowMaster(
+            self.bus,
+            link_bandwidth=float(self.fabric.ingress.capacity.min()),
+            compression=self.compression,
+        )
+        self.workers = [
+            SwallowWorker(n, self.bus, real_compression=real_compression)
+            for n in range(num_nodes)
+        ]
+        self.bus.subscribe("master/callback", lambda msg: None)  # observability sink
+        self.bus.subscribe("worker/alloc", lambda msg: None)
+        self._ref_to_coflow: Dict[int, Coflow] = {}
+        self._completed: Dict[int, bool] = {}
+        self._block_to_flow: Dict[Tuple[int, int], Flow] = {}
+        self._unpushed: Dict[int, List[Flow]] = {}
+        self.engine.on_coflow_complete(self._on_engine_complete)
+        if auto_heartbeat:
+            self.engine.on_decision(lambda t: self.heartbeat())
+        SwallowContext._instance = self
+
+    # --------------------------------------------------------------- lifecycle
+    @classmethod
+    def get_instance(cls) -> "SwallowContext":
+        """The singleton accessor from the paper's usage example."""
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
+
+    @classmethod
+    def reset_instance(cls) -> None:
+        cls._instance = None
+
+    # ----------------------------------------------------------- Table IV API
+    def hook(self, executor: Executor) -> List[FlowInfo]:
+        """Capture flow information from an executor's pending transfers."""
+        return hook_executor(executor)
+
+    def aggregate(self, flow_infos: List[FlowInfo], label: str = "") -> CoflowInfo:
+        """Merge flowInfo records into one coflowInfo."""
+        return CoflowInfo(flows=tuple(flow_infos), label=label)
+
+    def add(self, info: CoflowInfo) -> CoflowRef:
+        """Register a coflow with the master and submit it to the fabric."""
+        ref = self.master.add(info)
+        flows = [
+            Flow(
+                src=f.src,
+                dst=f.dst,
+                size=f.size,
+                compressible=f.compressible,
+                ratio_override=f.ratio_override,
+                flow_id=f.flow_id,
+            )
+            for f in info.flows
+        ]
+        coflow = Coflow(flows, arrival=self.engine.now, label=info.label)
+        self.engine.submit(coflow)
+        self._ref_to_coflow[ref.coflow_id] = coflow
+        self._completed[ref.coflow_id] = False
+        self._unpushed[ref.coflow_id] = list(flows)
+        return ref
+
+    def remove(self, ref: CoflowRef) -> None:
+        """Unregister a coflow once its transfer has completed."""
+        if ref.coflow_id not in self._ref_to_coflow:
+            raise ProtocolError(f"remove() of unknown ref {ref.coflow_id}")
+        if not self._completed[ref.coflow_id]:
+            raise ProtocolError(
+                f"remove() before coflow {ref.coflow_id} completed transfer"
+            )
+        del self._ref_to_coflow[ref.coflow_id]
+        self.master.remove(ref)
+
+    def scheduling(self, refs: List[CoflowRef]) -> SchResult:
+        """Ask the master for the current plan over the given coflows."""
+        return self.master.scheduling(refs)
+
+    def alloc(self, plan: SchResult) -> None:
+        """Cluster-manager step: fan the plan out to the involved workers."""
+        for w in self.workers:
+            self.bus.publish("worker/alloc", (w.node, plan))
+
+    def push(self, ref: CoflowRef, block_id: BlockId, payload: bytes) -> PushMsg:
+        """Sender side: hand one block to Swallow for transfer.
+
+        Blocks map onto the coflow's flows in registration order; pushing
+        more blocks than the coflow has flows is a protocol error.
+        """
+        queue = self._unpushed.get(ref.coflow_id)
+        if queue is None:
+            raise ProtocolError(f"push() to unknown ref {ref.coflow_id}")
+        if not queue:
+            raise ProtocolError(
+                f"coflow {ref.coflow_id}: more blocks pushed than flows"
+            )
+        flow = queue.pop(0)
+        beta = self.master.scheduling([ref]).compress.get(flow.flow_id, False)
+        worker = self.workers[flow.src]
+        stored, compressed = worker.store_block(ref, block_id, payload, beta)
+        self._block_to_flow[(ref.coflow_id, block_id.value)] = flow
+        return PushMsg(
+            coflow=ref, block_id=block_id, payload_size=stored, compressed=compressed
+        )
+
+    def pull(self, ref: CoflowRef, block_id: BlockId) -> bytes:
+        """Receiver side: obtain a block, driving the fabric as needed.
+
+        Time-decoupled: if the coflow's transfer has not finished yet, the
+        simulation advances until it has (the receiver "waits").
+        """
+        key = (ref.coflow_id, block_id.value)
+        flow = self._block_to_flow.get(key)
+        if flow is None:
+            raise ProtocolError(f"pull() of unpushed block {block_id.value}")
+        while not self._completed[ref.coflow_id]:
+            if not self.engine.pending:
+                raise ProtocolError(
+                    f"coflow {ref.coflow_id} cannot complete: engine drained"
+                )
+            self.engine.run(until=self.engine.now + 1.0)
+        data = self.workers[flow.src].fetch_block(ref, block_id)
+        self.bus.publish(
+            "master/callback",
+            CallBackMsg(coflow=ref, block_id=block_id, time=self.engine.now),
+        )
+        del self._block_to_flow[key]
+        return data
+
+    # ------------------------------------------------------------- internals
+    def _on_engine_complete(self, cr) -> None:
+        for cid, coflow in self._ref_to_coflow.items():
+            if coflow.coflow_id == cr.coflow_id:
+                self._completed[cid] = True
+                return
+
+    # ------------------------------------------------------------- inspection
+    def heartbeat(self) -> None:
+        """Have every worker daemon report node status to the master."""
+        for w in self.workers:
+            free_bw = float(self.fabric.ingress.capacity[w.node])
+            w.report(self.cpu, self.engine.now, free_bw)
+
+    def results(self):
+        """The engine's metrics so far (FCT/CCT/traffic)."""
+        return self.engine.result()

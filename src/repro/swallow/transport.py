@@ -1,0 +1,57 @@
+"""In-process message bus — the stand-in for Akka (paper §V-A).
+
+The real Swallow passes messages between driver, master, cluster manager and
+workers over Akka with Kryo serialisation.  Here all components live in one
+process, so the bus delivers synchronously; it still gives the system layer
+the same *shape* (topic-addressed handlers, observable message flow) and
+counts traffic per topic so tests can assert the protocol actually runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List
+
+from repro.errors import ProtocolError
+
+Handler = Callable[[Any], None]
+
+
+class MessageBus:
+    """Topic-based synchronous publish/subscribe."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[Handler]] = defaultdict(list)
+        self._counts: Dict[str, int] = defaultdict(int)
+        self._log: List = []
+        self.keep_log = False
+
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        self._handlers[topic].append(handler)
+
+    def publish(self, topic: str, message: Any) -> None:
+        """Deliver to every subscriber; error if nobody listens.
+
+        An unrouted message is a protocol bug in a closed system, so it
+        raises rather than vanishing.
+        """
+        handlers = self._handlers.get(topic)
+        if not handlers:
+            raise ProtocolError(f"no subscriber for topic {topic!r}")
+        self._counts[topic] += 1
+        if self.keep_log:
+            self._log.append((topic, message))
+        for h in handlers:
+            h(message)
+
+    def count(self, topic: str) -> int:
+        """Messages published to a topic so far."""
+        return self._counts.get(topic, 0)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def log(self) -> List:
+        return list(self._log)

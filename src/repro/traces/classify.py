@@ -1,0 +1,91 @@
+"""Coflow classification into the literature's size×width bins.
+
+Varys and Aalo break results down by coflow *length* (largest flow) and
+*width* (number of flows) into four bins — Short/Long × Narrow/Wide — and
+report per-bin CCT improvements, because policies behave very differently
+on mice vs elephants.  This module reproduces that breakdown for any
+workload/result pair.
+
+Default thresholds follow Varys: a coflow is *short* if its longest flow
+is under 5 MB and *narrow* if it has at most 50 flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.coflow import Coflow, CoflowResult
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+#: Varys' bin thresholds.
+DEFAULT_LENGTH_THRESHOLD = 5 * MB
+DEFAULT_WIDTH_THRESHOLD = 50
+
+BINS = ("SN", "LN", "SW", "LW")  # Short/Long × Narrow/Wide
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    length_threshold: float = DEFAULT_LENGTH_THRESHOLD
+    width_threshold: int = DEFAULT_WIDTH_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.length_threshold <= 0 or self.width_threshold <= 0:
+            raise ConfigurationError("thresholds must be positive")
+
+
+def classify_coflow(
+    coflow: Union[Coflow, CoflowResult],
+    config: ClassifierConfig = ClassifierConfig(),
+) -> str:
+    """Bin one coflow: "SN", "LN", "SW" or "LW"."""
+    if isinstance(coflow, CoflowResult):
+        length = max(f.size for f in coflow.flow_results)
+        width = coflow.width
+    else:
+        length = max(f.size for f in coflow.flows)
+        width = coflow.width
+    short = length < config.length_threshold
+    narrow = width <= config.width_threshold
+    return ("S" if short else "L") + ("N" if narrow else "W")
+
+
+def bin_counts(
+    coflows: Iterable[Union[Coflow, CoflowResult]],
+    config: ClassifierConfig = ClassifierConfig(),
+) -> Dict[str, int]:
+    """How many coflows land in each bin."""
+    out = {b: 0 for b in BINS}
+    for c in coflows:
+        out[classify_coflow(c, config)] += 1
+    return out
+
+
+def cct_by_bin(
+    results: Sequence[CoflowResult],
+    config: ClassifierConfig = ClassifierConfig(),
+) -> Dict[str, float]:
+    """Average CCT per bin (empty bins omitted)."""
+    acc: Dict[str, List[float]] = {}
+    for c in results:
+        acc.setdefault(classify_coflow(c, config), []).append(c.cct)
+    return {b: float(np.mean(v)) for b, v in acc.items()}
+
+
+def speedup_by_bin(
+    baseline: Sequence[CoflowResult],
+    ours: Sequence[CoflowResult],
+    config: ClassifierConfig = ClassifierConfig(),
+) -> Dict[str, float]:
+    """Per-bin CCT speedup of ``ours`` over ``baseline`` (paired runs)."""
+    base = cct_by_bin(baseline, config)
+    mine = cct_by_bin(ours, config)
+    out = {}
+    for b in base:
+        if b in mine and mine[b] > 0:
+            out[b] = base[b] / mine[b]
+    return out

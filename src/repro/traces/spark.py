@@ -1,0 +1,149 @@
+"""Spark-shuffle workloads with the paper's per-application profiles.
+
+Table I of the paper measured the intermediate data of one shuffle block for
+eleven HiBench applications, compressed and uncompressed.  Those numbers
+are reproduced verbatim in :data:`TABLE_I`; coflows built from a profile
+carry the application's compression ratio as each flow's
+``ratio_override``, so the compression-aware experiments (Tables I/VII,
+Fig. 7) see the paper's per-app compressibility rather than the generic
+codec curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.coflow import Coflow
+from repro.core.flow import Flow
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One Table I row: per-block shuffle bytes for a HiBench application."""
+
+    name: str
+    block_compressed: float  # bytes after compression
+    block_uncompressed: float  # raw shuffle-block bytes
+
+    def __post_init__(self) -> None:
+        if self.block_compressed <= 0 or self.block_uncompressed <= 0:
+            raise ConfigurationError(f"{self.name}: block sizes must be positive")
+        if self.block_compressed >= self.block_uncompressed:
+            raise ConfigurationError(f"{self.name}: compressed must be < uncompressed")
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (compressed / uncompressed), as in Table I."""
+        return self.block_compressed / self.block_uncompressed
+
+
+#: Table I of the paper, verbatim (bytes of one shuffle block).
+TABLE_I: Dict[str, AppProfile] = {
+    p.name: p
+    for p in [
+        AppProfile("wordcount", 246_497, 440_872),
+        AppProfile("sort", 757_621_572, 3_034_919_593),
+        AppProfile("terasort", 8_713_992_886, 31_200_010_752),
+        AppProfile("dfsio", 354_606, 1_868_846),
+        AppProfile("logistic-regression", 5_077_091, 6_757_608),
+        AppProfile("lda", 515_454, 754_677),
+        AppProfile("svm", 3_368, 7_023),
+        AppProfile("bayes", 2_153_182, 8_176_706),
+        AppProfile("random-forest", 815_832, 1_194_464),
+        AppProfile("pagerank", 27_741_768, 65_413_648),
+        AppProfile("nweight", 3_814_494, 13_168_667),
+    ]
+}
+
+
+def get_profile(name: str) -> AppProfile:
+    try:
+        return TABLE_I[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown application {name!r}; available: {sorted(TABLE_I)}"
+        ) from None
+
+
+def shuffle_coflow(
+    app: AppProfile,
+    num_mappers: int,
+    num_reducers: int,
+    num_ports: int,
+    rng: np.random.Generator,
+    arrival: float = 0.0,
+    scale: float = 1.0,
+    size_jitter: float = 0.2,
+    label: Optional[str] = None,
+) -> Coflow:
+    """Build the shuffle coflow of one (app, stage): mappers × reducers flows.
+
+    Each mapper→reducer flow carries one shuffle block of the app's
+    uncompressed size (× ``scale``, jittered ±``size_jitter``), tagged with
+    the app's Table I compression ratio.
+    """
+    if num_mappers < 1 or num_reducers < 1:
+        raise ConfigurationError("need at least one mapper and one reducer")
+    if num_ports < 1:
+        raise ConfigurationError("need at least one port")
+    m_ports = rng.integers(0, num_ports, size=num_mappers)
+    r_ports = rng.integers(0, num_ports, size=num_reducers)
+    flows: List[Flow] = []
+    for mp in m_ports:
+        for rp in r_ports:
+            jitter = 1.0 + size_jitter * (2 * rng.random() - 1)
+            size = max(app.block_uncompressed * scale * jitter, 1.0)
+            flows.append(
+                Flow(
+                    src=int(mp),
+                    dst=int(rp),
+                    size=size,
+                    ratio_override=app.ratio,
+                )
+            )
+    return Coflow(flows, arrival=arrival, label=label or f"{app.name}-shuffle")
+
+
+def spark_trace(
+    rng: np.random.Generator,
+    num_jobs: int = 50,
+    num_ports: int = 16,
+    apps: Optional[Sequence[str]] = None,
+    arrival_rate: float = 0.5,
+    mappers: int = 4,
+    reducers: int = 4,
+    scale: float = 1.0,
+) -> List[Coflow]:
+    """A stream of shuffle coflows from a mix of Table I applications."""
+    if num_jobs <= 0:
+        raise ConfigurationError("num_jobs must be positive")
+    pool = [get_profile(a) for a in apps] if apps else list(TABLE_I.values())
+    t = 0.0
+    coflows: List[Coflow] = []
+    for k in range(num_jobs):
+        app = pool[int(rng.integers(0, len(pool)))]
+        coflows.append(
+            shuffle_coflow(
+                app,
+                num_mappers=mappers,
+                num_reducers=reducers,
+                num_ports=num_ports,
+                rng=rng,
+                arrival=t,
+                scale=scale,
+                label=f"{app.name}-{k}",
+            )
+        )
+        t += rng.exponential(1.0 / arrival_rate)
+    return coflows
+
+
+def mean_table1_ratio() -> float:
+    """Byte-weighted average compression ratio across Table I apps."""
+    comp = sum(p.block_compressed for p in TABLE_I.values())
+    raw = sum(p.block_uncompressed for p in TABLE_I.values())
+    return comp / raw

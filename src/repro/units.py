@@ -1,0 +1,72 @@
+"""Unit helpers and constants.
+
+The whole library uses a single unit system:
+
+* data sizes in **bytes** (floats are fine; volumes are continuous fluids),
+* time in **seconds**,
+* rates in **bytes per second**.
+
+These helpers exist so call sites read like the paper ("a 100 Mbps link",
+"a 4 MB flow") instead of raw powers of ten.  Network rates use decimal
+(SI) prefixes as is conventional for link speeds; data sizes use binary
+(IEC) prefixes as is conventional for payloads.
+"""
+
+from __future__ import annotations
+
+# --- data sizes (binary prefixes) -------------------------------------------
+KB: float = 1024.0
+MB: float = 1024.0**2
+GB: float = 1024.0**3
+TB: float = 1024.0**4
+
+# --- network rates (decimal prefixes, bits -> bytes) -------------------------
+KBPS: float = 1e3 / 8.0
+MBPS: float = 1e6 / 8.0
+GBPS: float = 1e9 / 8.0
+
+# --- time ---------------------------------------------------------------------
+MS: float = 1e-3
+US: float = 1e-6
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+
+
+def mbps(x: float) -> float:
+    """Convert a link speed in megabits/s to bytes/s."""
+    return x * MBPS
+
+
+def gbps(x: float) -> float:
+    """Convert a link speed in gigabits/s to bytes/s."""
+    return x * GBPS
+
+
+def bytes_to_human(n: float) -> str:
+    """Render a byte count with a binary-prefix suffix (e.g. ``"2.4 GB"``)."""
+    n = float(n)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def rate_to_human(r: float) -> str:
+    """Render a rate in bytes/s as a bit-rate string (e.g. ``"1.00 Gbps"``)."""
+    bits = float(r) * 8.0
+    for unit, factor in (("Gbps", 1e9), ("Mbps", 1e6), ("Kbps", 1e3)):
+        if abs(bits) >= factor:
+            return f"{bits / factor:.2f} {unit}"
+    return f"{bits:.0f} bps"
+
+
+def seconds_to_human(t: float) -> str:
+    """Render a duration (e.g. ``"1.6 min"``, ``"230 ms"``)."""
+    t = float(t)
+    if abs(t) >= HOUR:
+        return f"{t / HOUR:.2f} h"
+    if abs(t) >= MINUTE:
+        return f"{t / MINUTE:.2f} min"
+    if abs(t) >= 1.0:
+        return f"{t:.2f} s"
+    return f"{t * 1e3:.1f} ms"

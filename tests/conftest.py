@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fabric.bigswitch import BigSwitch
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_fabric() -> BigSwitch:
+    """A 4-port unit-bandwidth fabric."""
+    return BigSwitch(num_ports=4, bandwidth=1.0)

@@ -1,0 +1,99 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_bandwidth
+from repro.errors import ReproError
+from repro.schedulers import scheduler_names
+from repro.units import GBPS, MBPS
+
+
+class TestParseBandwidth:
+    def test_units(self):
+        assert parse_bandwidth("100mbps") == pytest.approx(100 * MBPS)
+        assert parse_bandwidth("1gbps") == pytest.approx(GBPS)
+        assert parse_bandwidth("1.5Gbps") == pytest.approx(1.5 * GBPS)
+        assert parse_bandwidth("12500") == 12500.0
+
+    def test_garbage(self):
+        with pytest.raises(ReproError):
+            parse_bandwidth("fast")
+
+
+class TestCommands:
+    def test_schedulers_lists_all(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(scheduler_names())
+
+    def test_compare_runs(self, capsys):
+        rc = main([
+            "compare", "--policies", "fifo,fvdf", "--coflows", "6",
+            "--ports", "4", "--bandwidth", "100mbps", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg CCT" in out and "fvdf" in out
+        assert "speedup of fvdf" in out
+
+    def test_compare_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compare", "--policies", "quantum-annealer"])
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "sebf" in out and "4.50" in out
+
+    def test_replay(self, tmp_path, capsys, rng):
+        from repro.traces import synthesize_facebook_like, write_facebook_trace
+
+        trace = synthesize_facebook_like(rng, num_coflows=5, num_ports=6,
+                                         mean_reducer_mb=1.0)
+        path = tmp_path / "t.txt"
+        write_facebook_trace(trace, path)
+        assert main(["replay", str(path), "--policies", "sebf",
+                     "--bandwidth", "100mbps"]) == 0
+        out = capsys.readouterr().out
+        assert "5 coflows" in out
+
+    def test_replay_missing_file(self, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["replay", "/nonexistent/trace.txt"])
+
+    def test_cluster(self, capsys):
+        rc = main(["cluster", "--scale", "large", "--nodes", "8",
+                   "--jobs", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "with Swallow" in out and "saved" in out
+
+    def test_experiments_lists_registry(self, capsys):
+        from repro.experiments import EXPERIMENTS
+
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_reproduce_collect_only(self, capsys):
+        rc = main(["reproduce", "--only", "fig4", "--collect-only"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench_fig4_motivating_example" in out
+
+    def test_reproduce_unknown_experiment(self, capsys):
+        assert main(["reproduce", "--only", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "schedulers"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "fvdf" in proc.stdout

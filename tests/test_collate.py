@@ -1,0 +1,53 @@
+"""REPORT.md collation from per-experiment report files."""
+
+import pytest
+
+from repro.analysis import collate_reports
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS
+
+
+def test_collates_present_and_marks_pending(tmp_path):
+    (tmp_path / "fig4_motivating_example.txt").write_text("FIG4 TABLE")
+    (tmp_path / "fig6e_cct_bandwidth.svg").write_text("<svg/>")
+    (tmp_path / "fig6e_cct_bandwidth.txt").write_text("FIG6E TABLE")
+    out = collate_reports(tmp_path)
+    assert "FIG4 TABLE" in out
+    assert "FIG6E TABLE" in out
+    assert "![fig6e](fig6e_cct_bandwidth.svg)" in out
+    assert "(pending" in out  # other experiments have no files yet
+
+
+def test_every_experiment_gets_a_section(tmp_path):
+    out = collate_reports(tmp_path)
+    for exp in EXPERIMENTS.values():
+        assert exp.exp_id in out
+
+
+def test_unregistered_reports_listed(tmp_path):
+    (tmp_path / "mystery.txt").write_text("???")
+    out = collate_reports(tmp_path)
+    assert "Unregistered reports" in out
+    assert "mystery.txt" in out
+
+
+def test_writes_destination(tmp_path):
+    dest = tmp_path / "REPORT.md"
+    collate_reports(tmp_path, dest)
+    assert dest.read_text().startswith("# Reproduction report")
+
+
+def test_rejects_missing_dir(tmp_path):
+    with pytest.raises(ConfigurationError):
+        collate_reports(tmp_path / "nope")
+
+
+def test_real_reports_dir_collates():
+    """Against whatever the benchmark runs have produced so far."""
+    from pathlib import Path
+
+    reports = Path(__file__).parent.parent / "benchmarks" / "reports"
+    if not reports.is_dir():
+        pytest.skip("no reports generated yet")
+    out = collate_reports(reports)
+    assert "# Reproduction report" in out

@@ -1,0 +1,144 @@
+"""Compression substrate: codecs, size-dependent ratios, engine."""
+
+import numpy as np
+import pytest
+
+from repro.compression.codecs import (
+    TABLE_II,
+    Codec,
+    default_codec,
+    get_codec,
+    register_codec,
+)
+from repro.compression.engine import CompressionEngine
+from repro.compression.model import (
+    RATIO_MAX,
+    RATIO_MIN,
+    TABLE_III_ANCHORS,
+    SizeDependentRatio,
+    table3_ratio,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB, KB, MB, gbps, mbps
+
+
+class TestCodecs:
+    def test_table2_complete(self):
+        assert set(TABLE_II) >= {"lz4", "lzo", "snappy", "lzf", "zstd"}
+
+    def test_default_is_lz4(self):
+        assert default_codec().name == "lz4"
+
+    def test_lookup_aliases_and_case(self):
+        assert get_codec("LZ4").name == "lz4"
+        assert get_codec("Sanppy").name == "snappy"  # the paper's typo
+        assert get_codec("Zstandard").name == "zstd"
+
+    def test_unknown_codec(self):
+        with pytest.raises(ConfigurationError, match="unknown codec"):
+            get_codec("gzip9000")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Codec("bad", speed=-1, decompression_speed=1, ratio=0.5)
+        with pytest.raises(ConfigurationError):
+            Codec("bad", speed=1, decompression_speed=1, ratio=1.5)
+
+    def test_eq3_decision_boundary(self):
+        """LZ4 beats 1 GbE but not 10 GbE — the paper's key observation."""
+        lz4 = get_codec("lz4")
+        assert lz4.beats_bandwidth(gbps(1))
+        assert not lz4.beats_bandwidth(gbps(10))
+        assert lz4.beats_bandwidth(mbps(100))
+
+    def test_disposal_speed(self):
+        c = Codec("c", speed=100.0, decompression_speed=200.0, ratio=0.4)
+        assert c.disposal_speed == pytest.approx(60.0)
+
+    def test_register_codec(self):
+        c = Codec("custom-test", speed=1.0, decompression_speed=1.0, ratio=0.5)
+        register_codec(c)
+        assert get_codec("custom-test") is c
+        with pytest.raises(ConfigurationError):
+            register_codec(c)
+        register_codec(c.with_ratio(0.4), overwrite=True)
+        assert get_codec("custom-test").ratio == 0.4
+        del TABLE_II["custom-test"]
+
+
+class TestSizeDependentRatio:
+    def test_reproduces_table3_at_anchors(self):
+        """With a codec whose ratio equals the anchor asymptote, the model
+        must return Table III exactly at every anchor size."""
+        codec = Codec("sortlike", speed=1.0, decompression_speed=1.0,
+                      ratio=TABLE_III_ANCHORS[-1][1])
+        model = SizeDependentRatio(codec)
+        for size, ratio in TABLE_III_ANCHORS:
+            assert model(size) == pytest.approx(ratio, abs=1e-12)
+
+    def test_monotone_decreasing_in_size(self):
+        model = SizeDependentRatio(get_codec("lz4"))
+        sizes = np.logspace(4, 10, 50)
+        ratios = model(sizes)
+        assert np.all(np.diff(ratios) <= 1e-12)
+
+    def test_asymptote_matches_codec_ratio(self):
+        for name in TABLE_II:
+            model = SizeDependentRatio(get_codec(name))
+            assert model(10 * GB) == pytest.approx(get_codec(name).ratio, abs=1e-9)
+
+    def test_clipped_to_physical_range(self):
+        model = SizeDependentRatio(get_codec("lz4"))
+        assert RATIO_MIN <= model(1.0) <= RATIO_MAX
+        assert RATIO_MIN <= model(1e15) <= RATIO_MAX
+
+    def test_rejects_nonpositive_size(self):
+        model = SizeDependentRatio(get_codec("lz4"))
+        with pytest.raises(ConfigurationError):
+            model(0.0)
+
+    def test_table3_helper(self):
+        assert table3_ratio(10 * KB) == pytest.approx(0.6646)
+        assert table3_ratio(10 * GB) == pytest.approx(0.2507)
+
+
+class TestCompressionEngine:
+    def test_flat_ratio_mode(self):
+        eng = CompressionEngine("snappy", size_dependent=False)
+        assert eng.ratio(1 * KB) == pytest.approx(0.4819)
+        assert eng.ratio(1 * GB) == pytest.approx(0.4819)
+
+    def test_size_dependent_mode(self):
+        eng = CompressionEngine("zstd")
+        assert eng.ratio(10 * KB) > eng.ratio(1 * GB)
+
+    def test_speed_scale(self):
+        base = CompressionEngine("lz4")
+        slow = CompressionEngine("lz4", speed_scale=0.5)
+        assert slow.speed == pytest.approx(base.speed / 2)
+
+    def test_beats_bandwidth_vectorised(self):
+        eng = CompressionEngine("lz4", size_dependent=False)
+        out = eng.beats_bandwidth(np.array([1 * MB, 1 * MB]), np.array([mbps(100), gbps(100)]))
+        assert list(out) == [True, False]
+
+    def test_grant_cores_respects_budget(self):
+        eng = CompressionEngine()
+        want = np.array([True, True, True])
+        src = np.array([0, 0, 1])
+        granted = eng.grant_cores(want, src, free_cores=np.array([1, 1]))
+        assert list(granted) == [True, False, True]
+
+    def test_grant_cores_priority_order(self):
+        eng = CompressionEngine()
+        want = np.array([True, True])
+        src = np.array([0, 0])
+        granted = eng.grant_cores(
+            want, src, free_cores=np.array([1]), priority=np.array([1, 0])
+        )
+        assert list(granted) == [False, True]
+
+    def test_accepts_codec_object(self):
+        c = Codec("x", speed=10.0, decompression_speed=10.0, ratio=0.5)
+        eng = CompressionEngine(c, size_dependent=False)
+        assert eng.disposal_speed(100.0) == pytest.approx(5.0)

@@ -1,0 +1,100 @@
+"""Flow-size distributions and the Fig. 1 calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.distributions import (
+    ConstantSize,
+    LogNormalSizes,
+    MixtureSizes,
+    TruncatedPareto,
+    byte_share_above,
+    fig1_distribution,
+    spark_flow_sizes,
+)
+from repro.units import GB, KB, MB
+
+
+class TestTruncatedPareto:
+    def test_samples_in_range(self, rng):
+        d = TruncatedPareto(xm=1.0, alpha=0.5, cap=100.0)
+        x = d.sample(rng, 10_000)
+        assert x.min() >= 1.0
+        assert x.max() <= 100.0
+
+    def test_cdf_monotone_and_bounded(self):
+        d = TruncatedPareto(xm=1.0, alpha=0.5, cap=100.0)
+        pts = np.linspace(0.5, 120, 50)
+        c = d.cdf(pts)
+        assert np.all(np.diff(c) >= -1e-12)
+        assert c[0] == 0.0 and c[-1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedPareto(xm=0, alpha=1, cap=10)
+        with pytest.raises(ConfigurationError):
+            TruncatedPareto(xm=5, alpha=1, cap=5)
+
+
+class TestFig1Calibration:
+    def test_flow_count_share(self, rng):
+        """Fig. 1(a): ~89.5% of flows smaller than 10 GB."""
+        d = fig1_distribution()
+        x = d.sample(rng, 200_000)
+        frac = (x < 10 * GB).mean()
+        assert frac == pytest.approx(0.895, abs=0.02)
+
+    def test_byte_share_of_elephants(self, rng):
+        """Fig. 1(b): >93% of traffic bytes from flows larger than 10 GB."""
+        d = fig1_distribution()
+        x = d.sample(rng, 200_000)
+        assert byte_share_above(x, 10 * GB) > 0.90
+
+    def test_body_location(self, rng):
+        """Most flows scattered in [10 MB, 10 GB] as the paper observes."""
+        d = fig1_distribution()
+        x = d.sample(rng, 50_000)
+        assert ((x >= 10 * MB) & (x <= 10 * GB)).mean() > 0.85
+
+
+class TestLogNormal:
+    def test_median(self, rng):
+        d = LogNormalSizes(median=100.0, sigma=1.0)
+        x = d.sample(rng, 50_000)
+        assert np.median(x) == pytest.approx(100.0, rel=0.05)
+
+    def test_clipping(self, rng):
+        d = LogNormalSizes(median=100.0, sigma=2.0, lo=10.0, hi=1000.0)
+        x = d.sample(rng, 10_000)
+        assert x.min() >= 10.0 and x.max() <= 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalSizes(median=-1.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalSizes(median=1.0, lo=5.0, hi=2.0)
+
+
+class TestMixture:
+    def test_draws_from_both(self, rng):
+        m = MixtureSizes([ConstantSize(1.0), ConstantSize(100.0)], [0.5, 0.5])
+        x = m.sample(rng, 1000)
+        assert set(np.unique(x)) == {1.0, 100.0}
+        assert abs((x == 1.0).mean() - 0.5) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixtureSizes([], [])
+        with pytest.raises(ConfigurationError):
+            MixtureSizes([ConstantSize(1.0)], [0.0])
+
+
+def test_spark_flow_sizes_scale(rng):
+    x = spark_flow_sizes().sample(rng, 20_000)
+    assert np.median(x) == pytest.approx(200 * KB, rel=0.1)
+    assert x.min() >= 1 * KB and x.max() <= 64 * MB
+
+
+def test_byte_share_empty():
+    assert byte_share_above(np.array([]), 1.0) == 0.0

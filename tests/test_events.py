@@ -1,0 +1,56 @@
+"""Event kinds and the arrival calendar."""
+
+import pytest
+
+from repro.core.coflow import Coflow
+from repro.core.events import ArrivalCalendar, EventKind, ScheduleTrigger
+from repro.core.flow import Flow
+
+
+def cf(arrival):
+    return Coflow([Flow(0, 0, 1.0)], arrival=arrival)
+
+
+class TestScheduleTrigger:
+    def test_preemption_points(self):
+        assert ScheduleTrigger({EventKind.ARRIVAL}).is_preemption_point
+        assert ScheduleTrigger({EventKind.COMPLETION}).is_preemption_point
+        assert not ScheduleTrigger({EventKind.RAW_EXHAUSTED}).is_preemption_point
+        assert not ScheduleTrigger({EventKind.START}).is_preemption_point
+        assert not ScheduleTrigger().is_preemption_point
+
+    def test_flags(self):
+        t = ScheduleTrigger({EventKind.ARRIVAL, EventKind.COMPLETION})
+        assert t.has_arrival and t.has_completion
+
+
+class TestArrivalCalendar:
+    def test_orders_by_time(self):
+        cal = ArrivalCalendar()
+        late, early = cf(5.0), cf(1.0)
+        cal.push(late)
+        cal.push(early)
+        assert cal.peek_time() == 1.0
+        assert cal.pop_due(1.0) == [early]
+        assert cal.pop_due(10.0) == [late]
+
+    def test_stable_for_ties(self):
+        cal = ArrivalCalendar()
+        a, b = cf(2.0), cf(2.0)
+        cal.push(a)
+        cal.push(b)
+        assert cal.pop_due(2.0) == [a, b]
+
+    def test_pop_due_partial(self):
+        cal = ArrivalCalendar()
+        for t in (1.0, 2.0, 3.0):
+            cal.push(cf(t))
+        assert len(cal.pop_due(2.0)) == 2
+        assert len(cal) == 1
+        assert cal.peek_time() == 3.0
+
+    def test_empty(self):
+        cal = ArrivalCalendar()
+        assert cal.peek_time() is None
+        assert cal.pop_due(100.0) == []
+        assert len(cal) == 0

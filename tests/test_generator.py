@@ -1,0 +1,157 @@
+"""Synthetic coflow workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.distributions import ConstantSize
+from repro.traces.generator import (
+    WorkloadConfig,
+    generate_flow_workload,
+    generate_workload,
+    workload_stats,
+)
+
+
+def cfg(**kw):
+    base = dict(num_coflows=20, num_ports=8, size_dist=ConstantSize(10.0))
+    base.update(kw)
+    return WorkloadConfig(**base)
+
+
+class TestConfigValidation:
+    def test_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            cfg(num_coflows=0)
+        with pytest.raises(ConfigurationError):
+            cfg(num_ports=0)
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            cfg(width=(5, 2))
+        with pytest.raises(ConfigurationError):
+            cfg(width=0)
+
+    def test_bad_rate_and_fraction(self):
+        with pytest.raises(ConfigurationError):
+            cfg(arrival_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            cfg(compressible_fraction=1.5)
+
+
+class TestGeneration:
+    def test_count_and_ports_in_range(self, rng):
+        ws = generate_workload(cfg(), rng)
+        assert len(ws) == 20
+        for c in ws:
+            for f in c.flows:
+                assert 0 <= f.src < 8 and 0 <= f.dst < 8
+
+    def test_fixed_width(self, rng):
+        ws = generate_workload(cfg(width=3), rng)
+        assert all(c.width == 3 for c in ws)
+
+    def test_width_range(self, rng):
+        ws = generate_workload(cfg(width=(2, 6), num_coflows=200), rng)
+        widths = {c.width for c in ws}
+        assert widths <= set(range(2, 7))
+        assert len(widths) > 1
+
+    def test_batch_arrivals_at_zero(self, rng):
+        ws = generate_workload(cfg(arrival_rate=None), rng)
+        assert all(c.arrival == 0.0 for c in ws)
+
+    def test_poisson_arrivals_sorted_from_zero(self, rng):
+        ws = generate_workload(cfg(arrival_rate=2.0), rng)
+        arr = [c.arrival for c in ws]
+        assert arr[0] == 0.0
+        assert arr == sorted(arr)
+
+    def test_poisson_rate_roughly_matches(self, rng):
+        ws = generate_workload(cfg(num_coflows=500, arrival_rate=2.0), rng)
+        horizon = ws[-1].arrival
+        assert 500 / horizon == pytest.approx(2.0, rel=0.2)
+
+    def test_compressible_fraction(self, rng):
+        ws = generate_workload(
+            cfg(num_coflows=200, width=4, compressible_fraction=0.25), rng
+        )
+        flags = [f.compressible for c in ws for f in c.flows]
+        assert np.mean(flags) == pytest.approx(0.25, abs=0.06)
+
+    def test_deterministic_given_seed(self):
+        a = generate_workload(cfg(), np.random.default_rng(5))
+        b = generate_workload(cfg(), np.random.default_rng(5))
+        assert [f.size for c in a for f in c.flows] == [
+            f.size for c in b for f in c.flows
+        ]
+        assert [(f.src, f.dst) for c in a for f in c.flows] == [
+            (f.src, f.dst) for c in b for f in c.flows
+        ]
+
+
+class TestFlowWorkload:
+    def test_all_singletons(self, rng):
+        singles = generate_flow_workload(cfg(width=(2, 4)), rng)
+        assert all(c.width == 1 for c in singles)
+
+    def test_preserves_total_bytes(self, rng):
+        grouped = generate_workload(cfg(width=3), np.random.default_rng(9))
+        singles = generate_flow_workload(cfg(width=3), np.random.default_rng(9))
+        assert sum(c.size for c in grouped) == pytest.approx(
+            sum(c.size for c in singles)
+        )
+
+
+class TestSizeFiltering:
+    def make(self, rng):
+        from repro.traces.distributions import LogNormalSizes
+
+        return generate_workload(
+            cfg(num_coflows=50, width=(1, 4),
+                size_dist=LogNormalSizes(median=100.0, sigma=1.0)),
+            rng,
+        )
+
+    def test_keep_all_is_identity(self, rng):
+        ws = self.make(rng)
+        from repro.traces.generator import filter_workload_by_size
+
+        assert filter_workload_by_size(ws, 1.0) == ws
+
+    def test_drops_smallest_flows(self, rng):
+        from repro.traces.generator import filter_workload_by_size
+
+        ws = self.make(rng)
+        filtered = filter_workload_by_size(ws, 0.9)
+        n_before = sum(c.width for c in ws)
+        n_after = sum(c.width for c in filtered)
+        assert n_after == pytest.approx(0.9 * n_before, rel=0.05)
+        min_kept = min(f.size for c in filtered for f in c.flows)
+        dropped = [
+            f.size for c in ws for f in c.flows
+        ]
+        assert min_kept >= np.quantile(dropped, 0.1) * 0.99
+
+    def test_returns_fresh_objects(self, rng):
+        from repro.traces.generator import filter_workload_by_size
+
+        ws = self.make(rng)
+        filtered = filter_workload_by_size(ws, 0.9)
+        originals = {id(c) for c in ws}
+        assert all(id(c) not in originals for c in filtered)
+
+    def test_bad_fraction(self, rng):
+        from repro.traces.generator import filter_workload_by_size
+
+        with pytest.raises(ConfigurationError):
+            filter_workload_by_size(self.make(rng), 0.0)
+
+
+def test_workload_stats(rng):
+    ws = generate_workload(cfg(width=2), rng)
+    stats = workload_stats(ws)
+    assert stats["num_coflows"] == 20
+    assert stats["num_flows"] == 40
+    assert stats["total_bytes"] == pytest.approx(400.0)
+    assert stats["mean_flow_size"] == pytest.approx(10.0)

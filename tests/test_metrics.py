@@ -1,0 +1,98 @@
+"""Metric computation: CDFs, speedups, throughput windows, filters."""
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.core.flow import FlowResult
+from repro.errors import ConfigurationError
+
+
+def fr(size, fct, arrival=0.0, sent=None):
+    return FlowResult(
+        flow_id=0, coflow_id=0, src=0, dst=0, size=size, arrival=arrival,
+        start=arrival, finish=arrival + fct, finish_physical=arrival + fct,
+        bytes_sent=sent if sent is not None else size, bytes_compressed_in=0.0,
+    )
+
+
+class TestCdf:
+    def test_empirical_cdf(self):
+        x, y = metrics.empirical_cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(y) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, y = metrics.empirical_cdf([])
+        assert len(x) == len(y) == 0
+
+    def test_cdf_at(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        out = metrics.cdf_at(vals, [0.0, 2.5, 10.0])
+        assert list(out) == pytest.approx([0.0, 0.5, 1.0])
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert metrics.speedup(4.4, 2.0) == pytest.approx(2.2)
+
+    def test_zero_denominator(self):
+        with pytest.raises(ConfigurationError):
+            metrics.speedup(1.0, 0.0)
+
+
+class TestFilters:
+    def test_percentile_filter_drops_smallest(self):
+        flows = [fr(size=s, fct=1.0) for s in np.arange(1.0, 101.0)]
+        kept = metrics.filter_flows_by_size_percentile(flows, 0.95)
+        assert len(kept) == pytest.approx(95, abs=1)
+        assert min(f.size for f in kept) >= 5.0
+
+    def test_keep_all(self):
+        flows = [fr(1.0, 1.0)]
+        assert metrics.filter_flows_by_size_percentile(flows, 1.0) == flows
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            metrics.filter_flows_by_size_percentile([], 0.0)
+
+    def test_size_bins(self):
+        flows = [fr(0.5, 1.0), fr(5.0, 2.0), fr(50.0, 3.0), fr(60.0, 5.0)]
+        out = metrics.fct_by_size_bins(flows, edges=[1.0, 10.0])
+        assert out["[0, 1)"] == pytest.approx(1.0)
+        assert out["[1, 10)"] == pytest.approx(2.0)
+        assert out["[10, inf)"] == pytest.approx(4.0)
+
+
+class TestThroughput:
+    def test_cumulative_windows(self):
+        comps = [0.5, 1.5, 1.6, 3.5]
+        cum = metrics.throughput_windows(comps, window=1.0, num_windows=4)
+        assert list(cum) == [1, 3, 3, 4]
+
+    def test_rates(self):
+        comps = [0.5, 1.5, 1.6, 3.5]
+        mx, mn, avg = metrics.completion_rates(comps, window=1.0, num_windows=4)
+        assert mx == pytest.approx(2.0)
+        assert mn == pytest.approx(0.0)
+        assert avg == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            metrics.throughput_windows([], window=0.0, num_windows=1)
+
+
+class TestSummaries:
+    def test_traffic_summary(self):
+        t = metrics.TrafficSummary(original=100.0, sent=60.0)
+        assert t.reduction == pytest.approx(0.4)
+
+    def test_compare_speedups(self):
+        a = metrics.RunSummary("a", avg_fct=2.0, avg_cct=4.0, makespan=10.0,
+                               traffic=metrics.TrafficSummary(1, 1))
+        b = metrics.RunSummary("b", avg_fct=1.0, avg_cct=2.0, makespan=8.0,
+                               traffic=metrics.TrafficSummary(1, 1))
+        out = metrics.compare([a, b], baseline="a", metric="avg_cct")
+        assert out["b"] == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            metrics.compare([a], baseline="zzz")

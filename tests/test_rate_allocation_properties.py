@@ -1,0 +1,108 @@
+"""Property-based tests for the rate-allocation primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import rate_allocation as ra
+
+N_PORTS = 5
+
+
+@st.composite
+def flow_sets(draw, max_flows=20):
+    n = draw(st.integers(1, max_flows))
+    src = draw(
+        st.lists(st.integers(0, N_PORTS - 1), min_size=n, max_size=n).map(np.array)
+    )
+    dst = draw(
+        st.lists(st.integers(0, N_PORTS - 1), min_size=n, max_size=n).map(np.array)
+    )
+    caps_in = draw(
+        st.lists(
+            st.floats(0.1, 10.0, allow_nan=False), min_size=N_PORTS, max_size=N_PORTS
+        ).map(np.array)
+    )
+    caps_out = draw(
+        st.lists(
+            st.floats(0.1, 10.0, allow_nan=False), min_size=N_PORTS, max_size=N_PORTS
+        ).map(np.array)
+    )
+    return src, dst, caps_in, caps_out
+
+
+def _feasible(src, dst, rates, caps_in, caps_out):
+    li = np.bincount(src, weights=rates, minlength=N_PORTS)
+    lo = np.bincount(dst, weights=rates, minlength=N_PORTS)
+    return np.all(li <= caps_in * (1 + 1e-6)) and np.all(lo <= caps_out * (1 + 1e-6))
+
+
+@given(flow_sets())
+@settings(max_examples=200, deadline=None)
+def test_maxmin_is_feasible_and_nonnegative(fs):
+    src, dst, ci, co = fs
+    rates = ra.maxmin_fair(src, dst, ci.copy(), co.copy())
+    assert np.all(rates >= 0)
+    assert _feasible(src, dst, rates, ci, co)
+
+
+@given(flow_sets())
+@settings(max_examples=200, deadline=None)
+def test_maxmin_is_work_conserving(fs):
+    """Every flow is bottlenecked: it touches a saturated port."""
+    src, dst, ci, co = fs
+    rates = ra.maxmin_fair(src, dst, ci.copy(), co.copy())
+    li = np.bincount(src, weights=rates, minlength=N_PORTS)
+    lo = np.bincount(dst, weights=rates, minlength=N_PORTS)
+    in_sat = li >= ci * (1 - 1e-6)
+    out_sat = lo >= co * (1 - 1e-6)
+    for i in range(len(src)):
+        assert in_sat[src[i]] or out_sat[dst[i]], (
+            f"flow {i} has rate {rates[i]} but neither port is saturated"
+        )
+
+
+@given(flow_sets())
+@settings(max_examples=200, deadline=None)
+def test_greedy_priority_feasible_and_head_flow_unthrottled(fs):
+    src, dst, ci, co = fs
+    order = np.arange(len(src))
+    rates = ra.greedy_priority(order, src, dst, ci.copy(), co.copy())
+    assert np.all(rates >= 0)
+    assert _feasible(src, dst, rates, ci, co)
+    # The highest-priority flow always gets its full end-to-end capacity.
+    assert rates[0] == min(ci[src[0]], co[dst[0]])
+
+
+@given(flow_sets(), st.integers(1, 4))
+@settings(max_examples=150, deadline=None)
+def test_madd_feasible_and_coflows_finish_together(fs, n_coflows):
+    src, dst, ci, co = fs
+    n = len(src)
+    vol = np.linspace(1.0, 5.0, n)
+    groups = [np.arange(i, n, n_coflows) for i in range(n_coflows)]
+    rates = ra.madd(groups, src, dst, vol, ci.copy(), co.copy(), backfill=False)
+    assert np.all(rates >= 0)
+    assert _feasible(src, dst, rates, ci, co)
+    # Inside one coflow, every flow that got a rate finishes at the same time.
+    for g in groups:
+        g = g[(rates[g] > 0)]
+        if len(g) >= 2:
+            finish = vol[g] / rates[g]
+            assert np.allclose(finish, finish[0], rtol=1e-6)
+
+
+@given(flow_sets())
+@settings(max_examples=150, deadline=None)
+def test_maxmin_weighted_dominance(fs):
+    """A flow with twice the weight never gets a lower rate than its twin."""
+    src, dst, ci, co = fs
+    n = len(src)
+    if n < 2:
+        return
+    # Make flows 0 and 1 identical endpoints, weight 2 vs 1.
+    src = src.copy(); dst = dst.copy()
+    src[1], dst[1] = src[0], dst[0]
+    w = np.ones(n); w[0] = 2.0
+    rates = ra.maxmin_fair(src, dst, ci.copy(), co.copy(), weights=w)
+    assert rates[0] >= rates[1] - 1e-9

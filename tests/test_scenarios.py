@@ -1,0 +1,59 @@
+"""The canonical scenario helpers (Fig. 3/4 workload construction)."""
+
+import pytest
+
+from repro.scenarios import (
+    FIG4_PAPER_NUMBERS,
+    motivating_compression_engine,
+    motivating_example,
+    run_motivating_example,
+)
+from repro.schedulers import make_scheduler
+
+
+class TestConstruction:
+    def test_port_assignment_matches_design_doc(self):
+        _, (c1, c2) = motivating_example()
+        by_id = {f.flow_id: f for c in (c1, c2) for f in c.flows}
+        # flow ids encode the interleaved FIFO order f1,f5,f2,f4,f3.
+        f1, f5, f2, f4, f3 = (by_id[i] for i in range(5))
+        assert (f1.src, f1.dst, f1.size) == (0, 0, 4)
+        assert (f2.src, f2.dst, f2.size) == (1, 1, 4)
+        assert (f3.src, f3.dst, f3.size) == (2, 2, 2)
+        assert (f4.src, f4.dst, f4.size) == (0, 0, 2)
+        assert (f5.src, f5.dst, f5.size) == (2, 2, 3)
+
+    def test_bandwidth_scaling_scales_sizes(self):
+        _, coflows = motivating_example(bandwidth=7.0)
+        assert sum(c.size for c in coflows) == 15 * 7.0
+
+    def test_compression_engine_satisfies_eq3(self):
+        eng = motivating_compression_engine()
+        # R(1-xi) = 4 * 0.5241 > B = 1: compression pays.
+        assert eng.disposal_speed(4.0) > 1.0
+        assert eng.ratio(4.0) == pytest.approx(0.4759)
+
+    def test_paper_numbers_table_complete(self):
+        assert set(FIG4_PAPER_NUMBERS) >= {"pff", "wss", "fifo", "pfp",
+                                           "sebf", "fvdf"}
+
+
+class TestRunHelper:
+    def test_non_compressing_policy_gets_no_engine(self):
+        res = run_motivating_example(make_scheduler("sebf"))
+        assert res.traffic_reduction == 0.0
+
+    def test_compressing_policy_gets_engine(self):
+        res = run_motivating_example(make_scheduler("fvdf"))
+        assert res.traffic_reduction > 0.0
+
+    def test_core_count_changes_compression_but_stays_competitive(self):
+        """More cores let more flows compress simultaneously.  The FVDF
+        heuristic is not monotone in cores (exclusive β can delay a flow
+        that would rather transmit), but every configuration must stay
+        ahead of SEBF on this example."""
+        sebf = run_motivating_example(make_scheduler("sebf"))
+        for cores in (1, 2, 4):
+            res = run_motivating_example(make_scheduler("fvdf"), cores_per_node=cores)
+            assert res.avg_cct < sebf.avg_cct, cores
+            assert res.traffic_reduction > 0.0, cores

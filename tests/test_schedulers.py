@@ -1,0 +1,151 @@
+"""Baseline scheduler behaviour beyond the Fig. 4 exactness checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.coflow import Coflow
+from repro.core.flow import Flow
+from repro.core.simulator import SliceSimulator
+from repro.errors import ConfigurationError
+from repro.fabric.bigswitch import BigSwitch
+from repro.schedulers import (
+    SCF,
+    NCF,
+    LCF,
+    SEBF,
+    CoflowFIFO,
+    FlowFIFO,
+    FlowSRTF,
+    make_scheduler,
+    scheduler_names,
+)
+
+
+def run(scheduler, coflows, n_ports=4, bandwidth=1.0, slice_len=0.01):
+    sim = SliceSimulator(BigSwitch(n_ports, bandwidth), scheduler, slice_len=slice_len)
+    sim.submit_many(coflows)
+    return sim.run()
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in scheduler_names():
+            s = make_scheduler(name)
+            assert hasattr(s, "schedule")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("totally-new-policy")
+
+    def test_case_insensitive(self):
+        assert make_scheduler("SEBF").name == "sebf"
+
+
+class TestFlowFIFO:
+    def test_head_of_line_blocking(self):
+        """A huge first flow blocks a tiny one on the same port — the FIFO
+        pathology the paper calls out."""
+        big = Coflow([Flow(0, 0, 100.0, flow_id=1000)], arrival=0.0)
+        small = Coflow([Flow(0, 0, 1.0, flow_id=1001)], arrival=0.0)
+        res = run(FlowFIFO(), [big, small])
+        fct = {f.size: f.fct for f in res.flow_results}
+        assert fct[100.0] == pytest.approx(100.0)
+        assert fct[1.0] == pytest.approx(101.0)
+
+
+class TestFlowSRTF:
+    def test_preempts_for_smaller_flow(self):
+        big = Coflow([Flow(0, 0, 100.0)], arrival=0.0)
+        small = Coflow([Flow(0, 0, 1.0)], arrival=10.0)
+        res = run(FlowSRTF(), [big, small])
+        fct = {f.size: f.fct for f in res.flow_results}
+        assert fct[1.0] == pytest.approx(1.0)  # preempts immediately
+        assert fct[100.0] == pytest.approx(101.0)
+
+
+class TestSEBF:
+    def test_prioritises_small_bottleneck(self):
+        # C1 bottleneck 10 s, C2 bottleneck 2 s: C2 should not wait.
+        c1 = Coflow([Flow(0, 0, 10.0)], arrival=0.0)
+        c2 = Coflow([Flow(0, 0, 2.0)], arrival=0.0)
+        res = run(SEBF(), [c1, c2])
+        cct = {c.coflow_id: c.cct for c in res.coflow_results}
+        assert cct[c2.coflow_id] == pytest.approx(2.0)
+        assert cct[c1.coflow_id] == pytest.approx(12.0)
+
+    def test_madd_variant_runs(self):
+        c1 = Coflow([Flow(0, 0, 4.0), Flow(1, 1, 2.0)], arrival=0.0)
+        c2 = Coflow([Flow(0, 1, 2.0)], arrival=0.0)
+        res = run(SEBF(rate_policy="madd"), [c1, c2])
+        assert len(res.coflow_results) == 2
+        # MADD is work-conserving with backfill: same makespan region
+        assert res.makespan <= 8.0 + 1e-6
+
+    def test_bad_rate_policy(self):
+        with pytest.raises(ConfigurationError):
+            SEBF(rate_policy="wishful")
+
+
+class TestSimpleOrders:
+    def make_pair(self):
+        # small-total but wide coflow vs large-total narrow coflow
+        wide = Coflow(
+            [Flow(0, 0, 1.0), Flow(1, 1, 1.0), Flow(2, 2, 1.0)], arrival=0.0,
+            label="wide",
+        )
+        narrow = Coflow([Flow(0, 0, 4.0)], arrival=0.0, label="narrow")
+        return wide, narrow
+
+    def test_scf_prefers_small_total(self):
+        wide, narrow = self.make_pair()
+        res = run(SCF(), [wide, narrow])
+        cct = {c.label: c.cct for c in res.coflow_results}
+        assert cct["wide"] == pytest.approx(1.0)
+        assert cct["narrow"] == pytest.approx(5.0)
+
+    def test_ncf_prefers_narrow(self):
+        wide, narrow = self.make_pair()
+        res = run(NCF(), [wide, narrow])
+        cct = {c.label: c.cct for c in res.coflow_results}
+        assert cct["narrow"] == pytest.approx(4.0)
+        assert cct["wide"] == pytest.approx(5.0)  # flow on port 0 waits
+
+    def test_lcf_prefers_uncontended(self):
+        # A touches ports {0}; B touches {0,1}; C touches {1}.
+        a = Coflow([Flow(0, 0, 2.0)], label="a")
+        b = Coflow([Flow(0, 0, 2.0), Flow(1, 1, 2.0)], label="b")
+        c = Coflow([Flow(1, 1, 2.0)], label="c")
+        res = run(LCF(), [a, b, c])
+        cct = {x.label: x.cct for x in res.coflow_results}
+        # b shares ports with both a and c -> most contended -> last
+        assert cct["b"] == pytest.approx(4.0)
+        assert cct["a"] == pytest.approx(2.0)
+        assert cct["c"] == pytest.approx(2.0)
+
+    def test_coflow_fifo_orders_by_arrival(self):
+        first = Coflow([Flow(0, 0, 5.0)], arrival=0.0, label="first")
+        second = Coflow([Flow(0, 0, 1.0)], arrival=0.5, label="second")
+        res = run(CoflowFIFO(), [first, second])
+        cct = {c.label: c.cct for c in res.coflow_results}
+        assert cct["first"] == pytest.approx(5.0)
+        assert cct["second"] == pytest.approx(5.5)
+
+
+class TestCCTInvariant:
+    @pytest.mark.parametrize("name", ["fifo", "fair", "srtf", "sebf", "scf", "fvdf"])
+    def test_cct_is_max_fct(self, name):
+        """Eq. 8: a coflow's CCT equals the max FCT of its member flows."""
+        rng = np.random.default_rng(7)
+        coflows = []
+        for k in range(5):
+            flows = [
+                Flow(int(rng.integers(0, 4)), int(rng.integers(0, 4)),
+                     float(rng.uniform(0.5, 5.0)))
+                for _ in range(int(rng.integers(1, 5)))
+            ]
+            coflows.append(Coflow(flows, arrival=float(k) * 0.5))
+        res = run(make_scheduler(name), coflows)
+        assert len(res.coflow_results) == 5
+        for cr in res.coflow_results:
+            max_fct = max(f.finish for f in cr.flow_results)
+            assert cr.finish == pytest.approx(max_fct)

@@ -1,0 +1,58 @@
+"""Multi-seed experiment statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentSetup, SeedStats, run_seeds
+from repro.errors import ConfigurationError
+from repro.traces.distributions import ConstantSize
+from repro.traces.generator import WorkloadConfig, generate_workload
+
+
+def factory(seed):
+    cfg = WorkloadConfig(
+        num_coflows=8, num_ports=4, size_dist=ConstantSize(2.0), width=2,
+        arrival_rate=2.0,
+    )
+    return generate_workload(cfg, np.random.default_rng(seed))
+
+
+SETUP = ExperimentSetup(num_ports=4, bandwidth=1.0, slice_len=0.01)
+
+
+class TestRunSeeds:
+    def test_collects_per_policy_samples(self):
+        stats = run_seeds(["fifo", "sebf"], factory, SETUP, seeds=range(3))
+        assert set(stats.samples) == {"fifo", "sebf"}
+        assert len(stats.samples["fifo"]) == 3
+        assert stats.metric == "avg_cct"
+
+    def test_mean_and_std(self):
+        stats = SeedStats("m", {"a": np.array([1.0, 3.0])})
+        assert stats.mean("a") == 2.0
+        assert stats.std("a") == pytest.approx(np.std([1, 3], ddof=1))
+
+    def test_std_single_sample_is_zero(self):
+        stats = SeedStats("m", {"a": np.array([5.0])})
+        assert stats.std("a") == 0.0
+
+    def test_speedup_and_win_rate(self):
+        stats = SeedStats(
+            "m", {"base": np.array([2.0, 4.0]), "ours": np.array([1.0, 2.0])}
+        )
+        assert stats.speedup_mean("base", "ours") == pytest.approx(2.0)
+        assert stats.win_rate("ours", "base") == 1.0
+        assert stats.win_rate("base", "ours") == 0.0
+
+    def test_sebf_beats_fifo_across_seeds(self):
+        stats = run_seeds(["fifo", "sebf"], factory, SETUP, seeds=range(4))
+        assert stats.win_rate("sebf", "fifo") >= 0.75
+
+    def test_requires_seeds(self):
+        with pytest.raises(ConfigurationError):
+            run_seeds(["fifo"], factory, SETUP, seeds=[])
+
+    def test_summary_rows_sorted(self):
+        stats = SeedStats("m", {"b": np.array([1.0]), "a": np.array([2.0])})
+        rows = stats.summary_rows()
+        assert [r[0] for r in rows] == ["a", "b"]

@@ -1,0 +1,120 @@
+"""Property-based tests on the simulation engine's invariants.
+
+Random workloads through random policies must always satisfy:
+
+* conservation — a finished flow's bytes on the wire equal its raw bytes
+  sent plus its compressed bytes at their compressed size;
+* completeness — every submitted flow/coflow finishes, exactly once;
+* causality — finishes are on the slice grid, after arrival, and physical
+  finish never exceeds the observed finish;
+* Eq. 8 — a coflow's CCT is the max of its member FCTs;
+* compression only helps — bytes sent never exceed the original size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.codecs import Codec
+from repro.compression.engine import CompressionEngine
+from repro.core.coflow import Coflow
+from repro.core.flow import Flow
+from repro.core.simulator import SliceSimulator
+from repro.cpu.cores import CpuModel
+from repro.fabric.bigswitch import BigSwitch
+from repro.schedulers import make_scheduler
+
+N_PORTS = 4
+POLICIES = ["fifo", "fair", "srtf", "pfp", "wss", "sebf", "scf", "ncf",
+            "lcf", "coflow-fifo", "dclas", "fvdf", "fvdf-flow", "sebf-madd"]
+
+
+@st.composite
+def workloads(draw):
+    n_coflows = draw(st.integers(1, 6))
+    coflows = []
+    t = 0.0
+    for _ in range(n_coflows):
+        width = draw(st.integers(1, 4))
+        flows = [
+            Flow(
+                src=draw(st.integers(0, N_PORTS - 1)),
+                dst=draw(st.integers(0, N_PORTS - 1)),
+                size=draw(st.floats(0.05, 20.0)),
+                compressible=draw(st.booleans()),
+            )
+            for _ in range(width)
+        ]
+        coflows.append(Coflow(flows, arrival=t))
+        t += draw(st.floats(0.0, 3.0))
+    return coflows
+
+
+def run(coflows, policy):
+    scheduler = make_scheduler(policy)
+    engine = CompressionEngine(
+        Codec("prop", speed=8.0, decompression_speed=32.0, ratio=0.5),
+        size_dependent=False,
+    )
+    sim = SliceSimulator(
+        BigSwitch(N_PORTS, bandwidth=1.0),
+        scheduler,
+        slice_len=0.05,
+        cpu=CpuModel(N_PORTS, cores_per_node=2),
+        compression=engine if scheduler.uses_compression else None,
+    )
+    sim.submit_many(coflows)
+    return sim.run(), engine
+
+
+@given(workloads(), st.sampled_from(POLICIES))
+@settings(max_examples=120, deadline=None)
+def test_engine_invariants(coflows, policy):
+    res, engine = run(coflows, policy)
+
+    # completeness: every flow and coflow finishes exactly once.
+    n_flows = sum(c.width for c in coflows)
+    assert len(res.flow_results) == n_flows
+    assert len(res.coflow_results) == len(coflows)
+    assert len({f.flow_id for f in res.flow_results}) == n_flows
+
+    slice_len = 0.05
+    for fr in res.flow_results:
+        # causality and grid alignment.
+        assert fr.finish >= fr.arrival
+        assert fr.finish_physical <= fr.finish + 1e-9
+        k = fr.finish / slice_len
+        assert abs(k - round(k)) < 1e-6, "observed finish off the slice grid"
+        # conservation: wire bytes = raw part + compressed part at ratio.
+        raw_sent = fr.size - fr.bytes_compressed_in
+        expected = raw_sent + fr.bytes_compressed_in * 0.5
+        assert fr.bytes_sent == pytest.approx(expected, rel=1e-6, abs=1e-6)
+        assert fr.bytes_sent <= fr.size * (1 + 1e-9)
+
+    # Eq. 8: CCT is the max member FCT.
+    for cr in res.coflow_results:
+        assert cr.finish == pytest.approx(max(f.finish for f in cr.flow_results))
+        assert cr.bytes_sent == pytest.approx(
+            sum(f.bytes_sent for f in cr.flow_results)
+        )
+
+
+@given(workloads())
+@settings(max_examples=60, deadline=None)
+def test_compression_never_slower_than_disabled_on_makespan_bound(coflows):
+    """FVDF with compression finishes no later than 2x the no-compression
+    run (a loose regression bound: compression must never blow up)."""
+    res_c, _ = run(coflows, "fvdf")
+    res_n, _ = run(coflows, "fvdf-nocompress")
+    assert res_c.makespan <= res_n.makespan * 2 + 1.0
+
+
+@given(workloads(), st.sampled_from(["sebf", "fvdf"]))
+@settings(max_examples=60, deadline=None)
+def test_determinism(coflows, policy):
+    """Same workload, same policy, same seedless engine -> identical output."""
+    a, _ = run(coflows, policy)
+    b, _ = run(coflows, policy)
+    assert [f.finish for f in a.flow_results] == [f.finish for f in b.flow_results]
+    assert a.total_bytes_sent == b.total_bytes_sent

@@ -1,0 +1,121 @@
+"""Spark shuffle traces and Table I application profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.spark import (
+    TABLE_I,
+    AppProfile,
+    get_profile,
+    mean_table1_ratio,
+    shuffle_coflow,
+    spark_trace,
+)
+
+
+class TestTableI:
+    def test_all_eleven_apps_present(self):
+        assert len(TABLE_I) == 11
+
+    @pytest.mark.parametrize(
+        "name,ratio",
+        [
+            ("wordcount", 0.5591),
+            ("sort", 0.2496),
+            ("terasort", 0.2793),
+            ("dfsio", 0.1897),
+            ("logistic-regression", 0.7513),
+            ("lda", 0.6830),
+            ("svm", 0.4796),
+            ("bayes", 0.2633),
+            ("random-forest", 0.6830),
+            ("pagerank", 0.4241),
+            ("nweight", 0.2897),
+        ],
+    )
+    def test_ratios_match_paper(self, name, ratio):
+        assert get_profile(name).ratio == pytest.approx(ratio, abs=5e-4)
+
+    def test_unknown_app(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("bitcoin-miner")
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile("x", 10, 5)  # compressed > uncompressed
+        with pytest.raises(ConfigurationError):
+            AppProfile("x", 0, 5)
+
+    def test_mean_ratio_in_plausible_band(self):
+        # byte-weighted mix is dominated by sort/terasort (~25-28%)
+        assert 0.2 < mean_table1_ratio() < 0.4
+
+
+class TestShuffleCoflow:
+    def test_structure(self, rng):
+        app = get_profile("pagerank")
+        c = shuffle_coflow(app, num_mappers=3, num_reducers=2, num_ports=8, rng=rng)
+        assert c.width == 6
+        for f in c.flows:
+            assert f.ratio_override == pytest.approx(app.ratio)
+            assert 0 <= f.src < 8 and 0 <= f.dst < 8
+
+    def test_sizes_near_block_size(self, rng):
+        app = get_profile("wordcount")
+        c = shuffle_coflow(
+            app, num_mappers=2, num_reducers=2, num_ports=4, rng=rng,
+            size_jitter=0.0,
+        )
+        for f in c.flows:
+            assert f.size == pytest.approx(app.block_uncompressed)
+
+    def test_scale(self, rng):
+        app = get_profile("svm")
+        c = shuffle_coflow(
+            app, 1, 1, 4, rng, scale=10.0, size_jitter=0.0
+        )
+        assert c.flows[0].size == pytest.approx(app.block_uncompressed * 10)
+
+    def test_validation(self, rng):
+        app = get_profile("svm")
+        with pytest.raises(ConfigurationError):
+            shuffle_coflow(app, 0, 1, 4, rng)
+        with pytest.raises(ConfigurationError):
+            shuffle_coflow(app, 1, 1, 0, rng)
+
+
+class TestSparkTrace:
+    def test_stream_shape(self, rng):
+        trace = spark_trace(rng, num_jobs=20, num_ports=8, arrival_rate=1.0)
+        assert len(trace) == 20
+        arrivals = [c.arrival for c in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_app_restriction(self, rng):
+        trace = spark_trace(rng, num_jobs=10, apps=["sort"])
+        assert all(c.label.startswith("sort-") for c in trace)
+
+    def test_simulation_traffic_matches_app_ratio(self, rng):
+        """Replaying a sort-only trace through FVDF on a slow link must
+        reduce traffic by ~1 - 0.2496 (the Table I ratio)."""
+        from repro.compression.engine import CompressionEngine
+        from repro.core.simulator import SliceSimulator
+        from repro.fabric.bigswitch import BigSwitch
+        from repro.schedulers import make_scheduler
+
+        trace = spark_trace(
+            rng, num_jobs=3, num_ports=4, apps=["sort"],
+            mappers=1, reducers=1, scale=1e-6, arrival_rate=10.0,
+        )
+        # fast codec + thin pipe: everything gets compressed.
+        eng = CompressionEngine("lz4", size_dependent=False)
+        sim = SliceSimulator(
+            BigSwitch(4, bandwidth=1e3),
+            make_scheduler("fvdf"),
+            slice_len=0.01,
+            compression=eng,
+        )
+        sim.submit_many(trace)
+        res = sim.run()
+        assert res.traffic_reduction == pytest.approx(1 - 0.2496, abs=0.05)

@@ -1,0 +1,86 @@
+"""Property-based correctness of sparklite against plain Python.
+
+Random pipelines over random data must compute exactly what the same
+operations compute without the framework — regardless of partitioning,
+shuffling, serialization or (real) compression along the way.
+"""
+
+from collections import Counter, defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparklite import SparkLiteContext
+
+keys = st.text(alphabet="abcdef", min_size=1, max_size=2)
+records = st.lists(st.tuples(keys, st.integers(-100, 100)), min_size=0, max_size=60)
+
+
+def make_ctx(parts):
+    return SparkLiteContext(
+        num_nodes=3, bandwidth=1e6, smart_compress=True, real_compression=True,
+        default_parallelism=parts,
+    )
+
+
+@given(records, st.integers(1, 5), st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_reduce_by_key_matches_python(data, parts, reducers):
+    ctx = make_ctx(parts)
+    out = dict(
+        ctx.parallelize(data)
+        .reduce_by_key(lambda a, b: a + b, reducers)
+        .collect()
+    )
+    expected = defaultdict(int)
+    for k, v in data:
+        expected[k] += v
+    assert out == dict(expected)
+
+
+@given(records, st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_group_then_aggregate_matches_python(data, parts):
+    ctx = make_ctx(parts)
+    out = dict(
+        ctx.parallelize(data)
+        .group_by_key(2)
+        .map_values(lambda vs: sorted(vs))
+        .collect()
+    )
+    expected = defaultdict(list)
+    for k, v in data:
+        expected[k].append(v)
+    assert out == {k: sorted(v) for k, v in expected.items()}
+
+
+@given(records, st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_sort_by_key_matches_python(data, parts):
+    ctx = make_ctx(parts)
+    out = ctx.parallelize(data).sort_by_key(3).collect()
+    assert [k for k, _ in out] == sorted(k for k, _ in data)
+    assert Counter(out) == Counter(data)
+
+
+@given(st.lists(st.integers(-50, 50), max_size=60), st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_map_filter_distinct_pipeline(data, parts):
+    ctx = make_ctx(parts)
+    out = (
+        ctx.parallelize(data)
+        .map(lambda x: x * 2)
+        .filter(lambda x: x >= 0)
+        .distinct(2)
+        .collect()
+    )
+    assert sorted(out) == sorted({x * 2 for x in data if x * 2 >= 0})
+
+
+def test_text_file(tmp_path):
+    p = tmp_path / "corpus.txt"
+    p.write_text("alpha beta\ngamma\n")
+    ctx = make_ctx(2)
+    words = ctx.text_file(p).flat_map(str.split).collect()
+    assert sorted(words) == ["alpha", "beta", "gamma"]

@@ -1,0 +1,115 @@
+"""Dependency-free SVG chart rendering."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import Series, bar_chart, cdf_chart, line_chart
+from repro.errors import ConfigurationError
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Series("bad", [1, 2], [1])
+        with pytest.raises(ConfigurationError):
+            Series("empty", [], [])
+
+
+class TestLineChart:
+    def make(self, **kw):
+        return line_chart(
+            [Series("a", [0, 1, 2], [0.0, 1.0, 4.0]),
+             Series("b", [0, 1, 2], [4.0, 1.0, 0.0])],
+            title="T", xlabel="x", ylabel="y", **kw,
+        )
+
+    def test_is_valid_xml_with_polylines(self):
+        root = parse(self.make())
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == 2
+
+    def test_legend_and_labels_present(self):
+        svg = self.make()
+        for text in ("T", "x", "y", "a", "b"):
+            assert f">{text}<" in svg
+
+    def test_y_axis_inverted(self):
+        """Higher y values map to smaller pixel y."""
+        svg = line_chart([Series("s", [0, 1], [0.0, 10.0])])
+        pts = re.search(r'polyline points="([^"]+)"', svg).group(1)
+        (x1, y1), (x2, y2) = [tuple(map(float, p.split(","))) for p in pts.split()]
+        assert y2 < y1  # the larger value is drawn higher up
+        assert x2 > x1
+
+    def test_logx(self):
+        svg = line_chart(
+            [Series("s", [1, 10, 100], [1.0, 2.0, 3.0])], logx=True
+        )
+        pts = re.search(r'polyline points="([^"]+)"', svg).group(1)
+        xs = [float(p.split(",")[0]) for p in pts.split()]
+        # log spacing: equal pixel gaps between decades.
+        assert xs[1] - xs[0] == pytest.approx(xs[2] - xs[1], abs=0.6)
+
+    def test_logx_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([Series("s", [0, 1], [1, 2])], logx=True)
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        self.make(dest=path)
+        assert path.read_text().startswith("<svg")
+
+    def test_needs_series(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([])
+
+    def test_escaping(self):
+        svg = line_chart([Series("a<b&c", [0, 1], [0, 1])])
+        assert "a&lt;b&amp;c" in svg
+        parse(svg)  # still valid XML
+
+
+class TestCdfChart:
+    def test_step_curves(self):
+        svg = cdf_chart({"x": [1.0, 2.0, 3.0], "y": [2.0, 2.5]})
+        root = parse(svg)
+        assert len(root.findall(".//{http://www.w3.org/2000/svg}polyline")) == 2
+        assert "CDF" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cdf_chart({})
+        with pytest.raises(ConfigurationError):
+            cdf_chart({"x": []})
+
+
+class TestBarChart:
+    def test_bars_match_labels(self):
+        svg = bar_chart(["a", "b", "c"], [1.0, 2.0, 3.0], title="bars")
+        root = parse(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) == 4  # background + 3 bars
+
+    def test_bar_heights_proportional(self):
+        svg = bar_chart(["a", "b"], [1.0, 2.0])
+        root = parse(svg)
+        bars = root.findall(".//{http://www.w3.org/2000/svg}rect")[1:]
+        h1, h2 = (float(b.get("height")) for b in bars)
+        assert h2 == pytest.approx(2 * h1, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "bars.svg"
+        bar_chart(["a"], [1.0], dest=path)
+        assert path.exists()

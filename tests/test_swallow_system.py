@@ -1,0 +1,264 @@
+"""The Swallow system layer: message bus, master, worker, Table IV API."""
+
+import numpy as np
+import pytest
+
+from repro.compression.engine import CompressionEngine
+from repro.core.flow import Flow
+from repro.cpu.cores import CpuModel
+from repro.errors import ConfigurationError, ProtocolError
+from repro.swallow import (
+    BlockId,
+    CoflowInfo,
+    CoflowRef,
+    Executor,
+    FlowInfo,
+    MeasurementMsg,
+    MessageBus,
+    SwallowContext,
+    SwallowMaster,
+    SwallowWorker,
+    hook_executor,
+)
+from repro.units import MB, gbps, mbps
+
+
+class TestMessageBus:
+    def test_publish_subscribe(self):
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("t", seen.append)
+        bus.publish("t", 42)
+        assert seen == [42]
+        assert bus.count("t") == 1
+        assert bus.total_messages == 1
+
+    def test_multiple_subscribers(self):
+        bus = MessageBus()
+        a, b = [], []
+        bus.subscribe("t", a.append)
+        bus.subscribe("t", b.append)
+        bus.publish("t", "x")
+        assert a == b == ["x"]
+
+    def test_unrouted_message_raises(self):
+        bus = MessageBus()
+        with pytest.raises(ProtocolError, match="no subscriber"):
+            bus.publish("nobody", 1)
+
+    def test_log_when_enabled(self):
+        bus = MessageBus()
+        bus.keep_log = True
+        bus.subscribe("t", lambda m: None)
+        bus.publish("t", "hello")
+        assert bus.log == [("t", "hello")]
+
+
+class TestMessages:
+    def test_flowinfo_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlowInfo(flow_id=1, src=0, dst=0, size=0)
+
+    def test_coflowinfo_aggregates(self):
+        info = CoflowInfo(
+            flows=(
+                FlowInfo(1, 0, 1, 10.0),
+                FlowInfo(2, 1, 0, 30.0),
+            )
+        )
+        assert info.size == 40.0
+        assert info.width == 2
+
+    def test_empty_coflowinfo_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoflowInfo(flows=())
+
+    def test_block_ids_unique(self):
+        assert BlockId().value != BlockId().value
+
+
+class TestWorker:
+    def test_hook_captures_flows(self):
+        ex = Executor(node=0, pending_flows=[Flow(0, 1, 5.0), Flow(0, 2, 7.0)])
+        infos = hook_executor(ex)
+        assert [i.size for i in infos] == [5.0, 7.0]
+        assert all(i.src == 0 for i in infos)
+
+    def test_daemon_report_reaches_master(self):
+        bus = MessageBus()
+        master = SwallowMaster(bus, link_bandwidth=1.0)
+        cpu = CpuModel(2, cores_per_node=4)
+        w = SwallowWorker(1, bus)
+        msg = w.report(cpu, t=0.0, bandwidth_free=100.0)
+        assert isinstance(msg, MeasurementMsg)
+        assert master.free_cores(1) == 4
+
+    def test_block_store_roundtrip(self):
+        bus = MessageBus()
+        w = SwallowWorker(0, bus, real_compression=True)
+        ref = CoflowRef(coflow_id=1)
+        bid = BlockId()
+        payload = b"hello swallow " * 100
+        size, compressed = w.store_block(ref, bid, payload, compress=True)
+        assert compressed and size < len(payload)
+        assert w.fetch_block(ref, bid) == payload
+        assert w.stored_blocks == 0
+
+    def test_fetch_unknown_block(self):
+        w = SwallowWorker(0, MessageBus())
+        with pytest.raises(ProtocolError, match="unknown block"):
+            w.fetch_block(CoflowRef(coflow_id=1), BlockId())
+
+
+class TestMaster:
+    def make(self, bandwidth=mbps(100), compression=True):
+        bus = MessageBus()
+        eng = CompressionEngine("lz4", size_dependent=False) if compression else None
+        return SwallowMaster(bus, link_bandwidth=bandwidth, compression=eng), bus
+
+    def info(self, sizes, flow_ids=None):
+        fids = flow_ids or list(range(len(sizes)))
+        return CoflowInfo(
+            flows=tuple(FlowInfo(fid, 0, 1, s) for fid, s in zip(fids, sizes))
+        )
+
+    def test_add_remove_lifecycle(self):
+        master, _ = self.make()
+        ref = master.add(self.info([10.0]))
+        assert master.registered == 1
+        master.remove(ref)
+        assert master.registered == 0
+
+    def test_remove_unknown(self):
+        master, _ = self.make()
+        with pytest.raises(ProtocolError):
+            master.remove(CoflowRef(coflow_id=99))
+
+    def test_scheduling_orders_by_gamma(self):
+        master, _ = self.make()
+        big = master.add(self.info([100 * MB], flow_ids=[1]))
+        small = master.add(self.info([1 * MB], flow_ids=[2]))
+        plan = master.scheduling([big, small])
+        assert plan.order[0] == small.coflow_id
+
+    def test_scheduling_unknown_ref(self):
+        master, _ = self.make()
+        with pytest.raises(ProtocolError):
+            master.scheduling([CoflowRef(coflow_id=7)])
+
+    def test_priority_upgrade_reorders(self):
+        """An old large coflow eventually outranks a fresh small one."""
+        master, _ = self.make()
+        big = master.add(self.info([100 * MB], flow_ids=[1]))
+        # many arrivals/completions upgrade the big coflow's class
+        for k in range(40):
+            r = master.add(self.info([1.0], flow_ids=[1000 + k]))
+            master.remove(r)
+        small = master.add(self.info([1 * MB], flow_ids=[2]))
+        plan = master.scheduling([big, small])
+        assert plan.order[0] == big.coflow_id
+
+    def test_beta_respects_eq3(self):
+        # 100 Mbps: LZ4 wins; 10 Gbps: loses.
+        slow, _ = self.make(bandwidth=mbps(100))
+        fast, _ = self.make(bandwidth=gbps(10))
+        ref_s = slow.add(self.info([10 * MB], flow_ids=[5]))
+        ref_f = fast.add(self.info([10 * MB], flow_ids=[5]))
+        assert slow.scheduling([ref_s]).compress[5] is True
+        assert fast.scheduling([ref_f]).compress[5] is False
+
+    def test_beta_respects_daemon_cores(self):
+        master, bus = self.make()
+        cpu = CpuModel(2, cores_per_node=2, background=lambda t: 1.0)
+        SwallowWorker(0, bus).report(cpu, 0.0, 1.0)  # node 0: zero free cores
+        ref = master.add(self.info([10 * MB], flow_ids=[5]))
+        assert master.scheduling([ref]).compress[5] is False
+
+    def test_rates_are_minimal_allocation(self):
+        master, _ = self.make(bandwidth=100.0, compression=False)
+        ref = master.add(
+            CoflowInfo(flows=(FlowInfo(1, 0, 1, 200.0), FlowInfo(2, 3, 2, 100.0)))
+        )
+        plan = master.scheduling([ref])
+        # disjoint ports: gamma = 200/100 = 2 s; rates = size / gamma
+        assert plan.rates[1] == pytest.approx(100.0)
+        assert plan.rates[2] == pytest.approx(50.0)
+
+    def test_gamma_accounts_for_shared_ports(self):
+        """Two flows from one sender: the port carries both (Eq. 8)."""
+        master, _ = self.make(bandwidth=100.0, compression=False)
+        ref = master.add(
+            CoflowInfo(flows=(FlowInfo(1, 0, 1, 200.0), FlowInfo(2, 0, 2, 100.0)))
+        )
+        info = master._coflows[ref.coflow_id].info
+        assert master.gamma(info) == pytest.approx(3.0)  # 300 B / 100 B/s
+        plan = master.scheduling([ref])
+        # minimal rates finish both by gamma and fit the shared port.
+        assert plan.rates[1] + plan.rates[2] == pytest.approx(100.0)
+
+
+class TestSwallowContext:
+    def make_ctx(self, **kw):
+        SwallowContext.reset_instance()
+        defaults = dict(num_nodes=3, bandwidth=1000.0, slice_len=0.01,
+                        real_compression=True)
+        defaults.update(kw)
+        return SwallowContext(**defaults)
+
+    def shuffle_example(self, ctx):
+        ex = Executor(node=0, pending_flows=[Flow(0, 1, 500.0), Flow(0, 2, 800.0)])
+        infos = ctx.hook(ex)
+        cinfo = ctx.aggregate(infos, label="shuffle-0")
+        return ctx.add(cinfo), infos
+
+    def test_full_table4_workflow(self):
+        ctx = self.make_ctx()
+        ref, infos = self.shuffle_example(ctx)
+        plan = ctx.scheduling([ref])
+        assert set(plan.compress) == {i.flow_id for i in infos}
+        ctx.alloc(plan)
+        b1, b2 = BlockId(), BlockId()
+        ctx.push(ref, b1, b"alpha" * 50)
+        ctx.push(ref, b2, b"beta" * 50)
+        assert ctx.pull(ref, b1) == b"alpha" * 50
+        assert ctx.pull(ref, b2) == b"beta" * 50
+        ctx.remove(ref)
+        res = ctx.results()
+        assert len(res.coflow_results) == 1
+        assert ctx.bus.count("master/callback") == 2
+        assert ctx.bus.count("worker/alloc") == 3
+
+    def test_singleton(self):
+        ctx = self.make_ctx()
+        assert SwallowContext.get_instance() is ctx
+
+    def test_push_too_many_blocks(self):
+        ctx = self.make_ctx()
+        ref, _ = self.shuffle_example(ctx)
+        ctx.push(ref, BlockId(), b"x")
+        ctx.push(ref, BlockId(), b"y")
+        with pytest.raises(ProtocolError, match="more blocks"):
+            ctx.push(ref, BlockId(), b"z")
+
+    def test_pull_unpushed_block(self):
+        ctx = self.make_ctx()
+        ref, _ = self.shuffle_example(ctx)
+        with pytest.raises(ProtocolError, match="unpushed"):
+            ctx.pull(ref, BlockId())
+
+    def test_remove_before_completion(self):
+        ctx = self.make_ctx()
+        ref, _ = self.shuffle_example(ctx)
+        with pytest.raises(ProtocolError, match="before coflow"):
+            ctx.remove(ref)
+
+    def test_heartbeat_updates_master(self):
+        ctx = self.make_ctx(cores_per_node=8)
+        ctx.heartbeat()
+        assert ctx.master.free_cores(2) == 8
+
+    def test_compression_disabled_by_option(self):
+        ctx = self.make_ctx(smart_compress=False)
+        ref, infos = self.shuffle_example(ctx)
+        plan = ctx.scheduling([ref])
+        assert not any(plan.compress.values())

@@ -1,0 +1,39 @@
+"""Unit-helper sanity."""
+
+import pytest
+
+from repro import units
+
+
+def test_data_prefixes_are_binary():
+    assert units.KB == 1024
+    assert units.MB == 1024**2
+    assert units.GB == 1024**3
+    assert units.TB == 1024**4
+
+
+def test_rate_prefixes_are_decimal_bits():
+    assert units.mbps(8) == 1e6  # 8 Mbit/s == 1e6 bytes/s
+    assert units.gbps(1) == 1e9 / 8
+
+
+def test_gbps_is_thousand_mbps():
+    assert units.gbps(1) == pytest.approx(units.mbps(1000))
+
+
+def test_bytes_to_human():
+    assert units.bytes_to_human(2.4 * units.GB) == "2.40 GB"
+    assert units.bytes_to_human(512) == "512 B"
+    assert units.bytes_to_human(1536) == "1.50 KB"
+
+
+def test_rate_to_human():
+    assert units.rate_to_human(units.gbps(1)) == "1.00 Gbps"
+    assert units.rate_to_human(units.mbps(100)) == "100.00 Mbps"
+
+
+def test_seconds_to_human():
+    assert units.seconds_to_human(0.23) == "230.0 ms"
+    assert units.seconds_to_human(96) == "1.60 min"
+    assert units.seconds_to_human(7200) == "2.00 h"
+    assert units.seconds_to_human(2.5) == "2.50 s"
