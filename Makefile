@@ -1,10 +1,19 @@
-.PHONY: install test bench reproduce examples clean
+.PHONY: install test lint bench reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Config lives in pyproject.toml ([tool.ruff]).  Skips gracefully when
+# ruff is not on PATH so `make lint` is safe in minimal containers.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -3,14 +3,18 @@
 True pytest-benchmark usage (multiple rounds): how fast the simulator
 retires flows and how the water-filling/greedy primitives scale.  These
 guard against performance regressions in the hot paths the HPC guides
-call out (vectorised volume integration, progressive filling).
+call out (vectorised volume integration, progressive filling), and
+against the observability hooks costing anything while disabled.
 """
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.analysis import ExperimentSetup, run_policy
 from repro.core import rate_allocation as ra
+from repro.obs import Observability
 from repro.traces.distributions import LogNormalSizes
 from repro.traces.generator import WorkloadConfig, generate_workload
 from repro.units import MB, mbps
@@ -68,3 +72,46 @@ def test_simulator_throughput(benchmark):
         lambda: run_policy("sebf", workload, setup), rounds=1, iterations=1
     )
     assert len(res.coflow_results) == 200
+
+
+def test_disabled_tracing_overhead_under_5pct():
+    """The NULL_OBS hook sites must stay within noise of the seed engine.
+
+    Best-of-N timing of the same FVDF workload with (a) the default
+    NULL_OBS bundle and (b) an explicitly disabled bundle vs the enabled
+    one, asserting the disabled path costs < 5 % extra.  Best-of-N makes
+    the comparison robust to scheduler jitter in CI containers.
+    """
+    cfg = WorkloadConfig(
+        num_coflows=60,
+        num_ports=16,
+        size_dist=LogNormalSizes(median=4 * MB, sigma=1.0, lo=256 * 1024, hi=64 * MB),
+        width=(1, 4),
+        arrival_rate=10.0,
+    )
+    workload = generate_workload(cfg, np.random.default_rng(7))
+    setup = ExperimentSetup(num_ports=16, bandwidth=mbps(200), slice_len=0.01)
+
+    def best_of(n, fn):
+        best = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    # warm-up (JIT-free, but primes allocators and caches)
+    run_policy("fvdf", workload, setup)
+    baseline = best_of(5, lambda: run_policy("fvdf", workload, setup))
+    disabled = best_of(
+        5,
+        lambda: run_policy(
+            "fvdf", workload, setup,
+            obs=Observability(trace=False, metrics=False, profile=False),
+        ),
+    )
+    overhead = disabled / baseline - 1.0
+    assert overhead < 0.05, (
+        f"disabled-observability run is {overhead:.1%} slower than the "
+        f"default NULL_OBS path ({disabled:.4f}s vs {baseline:.4f}s)"
+    )

@@ -12,6 +12,13 @@ from repro.analysis.seeds import SeedStats, run_seeds
 from repro.analysis.svg import Series, bar_chart, cdf_chart, line_chart
 from repro.analysis.tables import render_cdf, render_series, render_table
 from repro.analysis.timeline import render_timeline
+from repro.analysis.tracefile import (
+    decision_timeline,
+    iter_trace,
+    kinds_at,
+    read_trace,
+    trace_summary,
+)
 from repro.core.metrics import (
     RunSummary,
     TrafficSummary,
@@ -35,6 +42,7 @@ __all__ = [
     "render_table", "render_cdf", "render_series", "render_timeline",
     "export_flows_csv", "export_coflows_csv",
     "Series", "line_chart", "cdf_chart", "bar_chart", "collate_reports",
+    "read_trace", "iter_trace", "trace_summary", "decision_timeline", "kinds_at",
     "empirical_cdf", "cdf_at", "speedup", "avg_fct", "avg_cct",
     "fct_values", "cct_values", "filter_flows_by_size_percentile",
     "fct_by_size_bins", "throughput_windows", "completion_rates",

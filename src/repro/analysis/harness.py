@@ -44,7 +44,7 @@ class ExperimentSetup:
         """A modified copy (for parameter sweeps)."""
         return replace(self, **kw)
 
-    def build_simulator(self, scheduler: Scheduler) -> SliceSimulator:
+    def build_simulator(self, scheduler: Scheduler, obs=None) -> SliceSimulator:
         fabric = BigSwitch(self.num_ports, self.bandwidth)
         cpu = CpuModel(
             self.num_ports,
@@ -63,6 +63,7 @@ class ExperimentSetup:
             cpu=cpu,
             compression=compression,
             sample_cpu=self.sample_cpu,
+            obs=obs,
         )
 
 
@@ -70,11 +71,12 @@ def run_policy(
     policy: Union[str, Scheduler],
     coflows: Sequence[Coflow],
     setup: Optional[ExperimentSetup] = None,
+    obs=None,
 ) -> SimulationResult:
     """Run one policy over a workload and return the result."""
     setup = setup or ExperimentSetup()
     scheduler = make_scheduler(policy) if isinstance(policy, str) else policy
-    sim = setup.build_simulator(scheduler)
+    sim = setup.build_simulator(scheduler, obs=obs)
     sim.submit_many(list(coflows))
     return sim.run()
 

@@ -14,6 +14,10 @@ Subcommands
     Print the motivating-example table against the paper's numbers.
 ``cluster``
     Run a HiBench suite on the cluster simulator with and without Swallow.
+``trace``
+    Run a scenario with the observability layer enabled and write the
+    structured event trace as JSONL (read back with
+    :func:`repro.analysis.read_trace`).
 
 Examples::
 
@@ -22,6 +26,8 @@ Examples::
     python -m repro replay path/to/FB2010-1Hr-150-0.txt --policies sebf,fvdf
     python -m repro fig4
     python -m repro cluster --scale large
+    python -m repro trace fig4 --policy fvdf --out fig4.jsonl
+    python -m repro trace synthetic --coflows 50 --profile
 """
 
 from __future__ import annotations
@@ -33,7 +39,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis import ExperimentSetup, render_table, run_many, speedups_over
+from repro.analysis import (
+    ExperimentSetup,
+    render_table,
+    run_many,
+    run_policy,
+    speedups_over,
+)
 from repro.errors import ReproError
 from repro.schedulers import make_scheduler, scheduler_names
 from repro.units import GBPS, MBPS, bytes_to_human, seconds_to_human
@@ -201,6 +213,57 @@ def cmd_fig4(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one scenario with tracing on and export the JSONL trace."""
+    from repro.obs import Observability
+
+    obs = Observability(trace=True, metrics=True, profile=args.profile)
+    policy = make_scheduler(args.policy)
+    if args.scenario == "fig4":
+        from repro.scenarios import run_motivating_example
+
+        res = run_motivating_example(policy, slice_len=args.slice, obs=obs)
+    else:  # synthetic
+        from repro.traces import WorkloadConfig, generate_workload, spark_flow_sizes
+
+        workload = generate_workload(
+            WorkloadConfig(
+                num_coflows=args.coflows,
+                num_ports=args.ports,
+                size_dist=spark_flow_sizes(),
+                width=(1, args.max_width),
+                arrival_rate=args.rate,
+            ),
+            np.random.default_rng(args.seed),
+        )
+        setup = ExperimentSetup(
+            num_ports=args.ports,
+            bandwidth=parse_bandwidth(args.bandwidth),
+            slice_len=args.slice,
+        )
+        res = run_policy(policy, workload, setup, obs=obs)
+
+    if args.out == "-":
+        obs.tracer.dump_jsonl(sys.stdout)
+    else:
+        n = obs.tracer.dump_jsonl(args.out)
+        print(f"{n} trace records -> {args.out}")
+    counts = obs.tracer.counts()
+    rows = [[kind, str(counts[kind])] for kind in sorted(counts)]
+    print(render_table(["record kind", "count"], rows,
+                       title=f"{policy.name} on {args.scenario}"))
+    print(
+        f"decisions={res.decision_points} makespan={seconds_to_human(res.makespan)} "
+        f"avg CCT={seconds_to_human(res.avg_cct)}"
+    )
+    print("\nmetrics:")
+    print(obs.metrics.render())
+    if args.profile:
+        print("\nhot sections:")
+        print(obs.profiler.report())
+    return 0
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterConfig, ClusterSimulator, hibench_suite
 
@@ -277,6 +340,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--collect-only", action="store_true",
                    help="list the bench tests without running them")
     p.set_defaults(fn=cmd_reproduce)
+
+    p = sub.add_parser(
+        "trace", help="run a scenario with tracing enabled and export JSONL"
+    )
+    p.add_argument("scenario", choices=["fig4", "synthetic"])
+    p.add_argument("--policy", default="fvdf",
+                   help="scheduling policy (see `schedulers`)")
+    p.add_argument("--out", default="trace.jsonl",
+                   help="output JSONL path ('-' for stdout)")
+    p.add_argument("--profile", action="store_true",
+                   help="also profile the schedule/integrate hot paths")
+    p.add_argument("--coflows", type=int, default=40)
+    p.add_argument("--ports", type=int, default=16)
+    p.add_argument("--max-width", type=int, default=8)
+    p.add_argument("--rate", type=float, default=4.0)
+    p.add_argument("--bandwidth", default="100mbps")
+    p.add_argument("--slice", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("cluster", help="HiBench cluster run with/without Swallow")
     p.add_argument("--scale", default="large", choices=["large", "huge", "gigantic"])

@@ -195,6 +195,7 @@ class ClusterSimulator:
         config: ClusterConfig,
         scheduler: Scheduler,
         compression: Optional[CompressionEngine] = None,
+        obs=None,
     ):
         self.config = config
         self.nodes = [ClusterNode(i, config.node_spec) for i in range(config.num_nodes)]
@@ -210,7 +211,9 @@ class ClusterSimulator:
             cpu=self.cpu,
             compression=compression,
             sample_cpu=config.sample_cpu,
+            obs=obs,
         )
+        self.obs = self.net.obs
         self.net.on_coflow_complete(self._on_shuffle_done)
         self._rng = np.random.default_rng(config.seed)
         self._events: List = []
@@ -249,6 +252,9 @@ class ClusterSimulator:
                 if self._events and self._events[0][0] < t:
                     continue  # a shuffle finished and enqueued earlier work
             _, _, kind, job_id = heapq.heappop(self._events)
+            tr = self.obs.tracer
+            if tr.enabled:
+                tr.emit(t, "job_stage", stage=kind, job_id=job_id)
             getattr(self, f"_on_{kind}")(t, self._jobs[job_id])
         makespan = max(
             [self.net.now] + [r.result_stage.end for r in self._results], default=0.0

@@ -192,11 +192,16 @@ class FVDFScheduler(Scheduler):
         cfg = self.config
         if cfg.logbase > 1.0 and view.trigger.is_preemption_point:
             if cfg.aging == "starved":
+                upgraded = 0
                 for cs in view.coflows:
                     if self._last_served.get(cs.coflow_id, True) is False:
                         cs.priority_class *= cfg.logbase
+                        upgraded += 1
             else:
                 upgrade(view, cfg.logbase)
+                upgraded = len(view.coflows)
+            if upgraded:
+                self.obs.metrics.counter("fvdf.upgrades").inc(upgraded)
 
         units = self._units(view)
 
@@ -216,6 +221,21 @@ class FVDFScheduler(Scheduler):
         order = np.argsort(
             [g / p for (_, p), g in zip(units, gamma)], kind="stable"
         )
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.emit(
+                view.time,
+                "order",
+                units=[
+                    [
+                        int(view.coflow_ids[units[u][0][0]]),
+                        float(gamma[u]),
+                        float(units[u][1]),
+                        float(gamma[u] / units[u][1]),
+                    ]
+                    for u in order
+                ],
+            )
         if cfg.aging in ("decay", "reset") and len(order) and view.trigger.is_preemption_point:
             head_flow = units[order[0]][0][0]
             head_cid = view.coflow_ids[head_flow]
@@ -269,6 +289,7 @@ class FVDFScheduler(Scheduler):
                     rates[i] = r
                     ra.consume(i, r, dims)
             # Work conservation: hand out leftovers in priority order.
+            backfill = 0.0
             for u in order:
                 for i in units[u][0]:
                     if not sendable[i]:
@@ -278,6 +299,9 @@ class FVDFScheduler(Scheduler):
                         continue
                     rates[i] += headroom
                     ra.consume(i, headroom, dims)
+                    backfill += headroom
+            if backfill > 0:
+                self.obs.metrics.counter("fvdf.backfill_rate").inc(backfill)
             return rates
         # "greedy": strict priority in unit order.
         flow_order = [i for u in order for i in units[u][0] if sendable[i]]

@@ -27,6 +27,7 @@ from repro.compression.engine import CompressionEngine
 from repro.core.coflow import Coflow
 from repro.core.events import ScheduleTrigger
 from repro.fabric.bigswitch import BigSwitch
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass
@@ -138,10 +139,17 @@ class Scheduler(ABC):
 
     name: str = "scheduler"
     uses_compression: bool = False
+    #: Observability bundle, bound by the engine; disabled by default so
+    #: policies can emit records unconditionally guarded on ``enabled``.
+    obs: Observability = NULL_OBS
 
     @abstractmethod
     def schedule(self, view: SchedulerView) -> Allocation:
         """Compute the allocation to hold until the next decision point."""
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach the engine's observability bundle (called by the engine)."""
+        self.obs = obs
 
     def reset(self) -> None:
         """Clear any cross-run state (default: stateless)."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -42,6 +43,7 @@ from repro.cpu.cores import CpuModel
 from repro.cpu.monitor import UtilizationRecorder
 from repro.errors import ConfigurationError, SchedulingError, SimulationError
 from repro.fabric.bigswitch import BigSwitch
+from repro.obs import NULL_OBS, Observability
 
 #: Default slice length (paper Section VI-B3: 0.01 s).
 DEFAULT_SLICE = 0.01
@@ -136,6 +138,13 @@ class SliceSimulator:
         ``uses_compression`` and none is given.
     sample_cpu:
         Record per-node busy fractions at every decision point (Fig. 2).
+    obs:
+        Observability bundle (:class:`repro.obs.Observability`).  Defaults
+        to the disabled :data:`repro.obs.NULL_OBS`; every hook site guards
+        on the component's ``enabled`` flag so the default costs only a
+        predicate check per decision point.  The bundle is also bound onto
+        the scheduler (``scheduler.bind_observability``) so policies can
+        emit their own records (e.g. FVDF's Γ_C/P ordering).
     """
 
     def __init__(
@@ -146,11 +155,14 @@ class SliceSimulator:
         cpu: Optional[CpuModel] = None,
         compression: Optional[CompressionEngine] = None,
         sample_cpu: bool = False,
+        obs: Optional[Observability] = None,
     ):
         if slice_len <= 0:
             raise ConfigurationError(f"slice_len must be positive, got {slice_len}")
         self.fabric = fabric
         self.scheduler = scheduler
+        self.obs = obs if obs is not None else NULL_OBS
+        scheduler.bind_observability(self.obs)
         self.slice_len = float(slice_len)
         self.cpu = cpu if cpu is not None else CpuModel(fabric.num_ingress)
         if self.cpu.num_nodes != fabric.num_ingress:
@@ -294,6 +306,11 @@ class SliceSimulator:
 
         Returns the number of flows cancelled.  Callable between
         :meth:`run` calls or from completion callbacks.
+
+        Cancelled flows are stamped with the cancellation instant in
+        ``_finish``/``_finish_phys`` (never-started flows also get
+        ``_start`` stamped), so store-level analysis can tell an aborted
+        flow's lifetime apart from "finished at t=0".
         """
         rec = self._coflows.get(coflow_id)
         if rec is None:
@@ -302,14 +319,24 @@ class SliceSimulator:
             raise ConfigurationError(
                 f"coflow {coflow_id} already completed; nothing to cancel"
             )
+        now = self.now
         cancelled = 0
         for g in rec.global_idx:
             if self._state[g] in (_PENDING, _ACTIVE):
+                if self._state[g] == _PENDING:
+                    self._start[g] = now
                 self._state[g] = _CANCELLED
+                self._finish[g] = now
+                if self._finish_phys[g] == 0.0:
+                    self._finish_phys[g] = now
                 cancelled += 1
         self._active = [g for g in self._active if self._coflow_of[g] != coflow_id]
         rec.remaining = 0
         self._cancelled.add(int(coflow_id))
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.emit(now, "cancel", coflow_id=int(coflow_id), n_flows=cancelled)
+        self.obs.metrics.counter("engine.cancellations").inc(cancelled)
         return cancelled
 
     @property
@@ -344,9 +371,12 @@ class SliceSimulator:
 
     def _apply_due_capacity_changes(self) -> bool:
         applied = False
+        tr = self.obs.tracer
         while self._cap_events and self._cap_events[0][0] <= self.now + 1e-12:
             _, side, port, cap = heapq.heappop(self._cap_events)
             getattr(self.fabric, side).set_capacity(port, cap)
+            if tr.enabled:
+                tr.emit(self.now, "capacity", side=side, port=port, capacity=cap)
             applied = True
         return applied
 
@@ -386,16 +416,57 @@ class SliceSimulator:
             for fn in self._on_decision:
                 fn(self.now)
             view = self._build_view(trigger)
+            obs = self.obs
+            tr = obs.tracer
+            if tr.enabled:
+                tr.emit(
+                    self.now,
+                    "decision",
+                    kinds=trigger.kinds,
+                    n_flows=view.num_flows,
+                    n_coflows=len(view.coflows),
+                )
+            timed = obs.metrics.enabled or obs.profiler.enabled
+            if timed:
+                t0 = time.perf_counter()
             alloc = self.scheduler.schedule(view)
+            if timed:
+                elapsed = time.perf_counter() - t0
+                obs.metrics.histogram("engine.decision_latency").observe(elapsed)
+                if obs.profiler.enabled:
+                    obs.profiler.add("schedule", elapsed)
             self._validate(view, alloc)
             self._apply_claims(view, alloc)
+            if tr.enabled:
+                tx = alloc.rates > 0
+                tr.emit(
+                    self.now,
+                    "rates",
+                    n_tx=int(tx.sum()),
+                    total=float(alloc.rates.sum()),
+                    max=float(alloc.rates.max()) if len(alloc.rates) else 0.0,
+                )
+                if alloc.compress.any():
+                    tr.emit(
+                        self.now,
+                        "beta",
+                        flow_ids=[int(i) for i in view.flow_ids[alloc.compress]],
+                    )
             if self._recorder is not None:
                 self._recorder.sample_model(self.now, self.cpu)
             self._decision_points += 1
+            obs.metrics.counter("engine.decisions").inc()
 
             n_slices, dt_kinds = self._horizon_slices(view, alloc, until)
+            if tr.enabled:
+                tr.emit(self.now, "jump", n_slices=n_slices, kinds=dt_kinds)
+            obs.metrics.histogram("engine.slices_jumped").observe(n_slices)
             boundary = (self._k + n_slices) * self.slice_len
-            self._integrate(view, alloc, n_slices * self.slice_len)
+            if obs.profiler.enabled:
+                with obs.profiler.section("integrate"):
+                    self._integrate(view, alloc, n_slices * self.slice_len)
+            else:
+                self._integrate(view, alloc, n_slices * self.slice_len)
             self._k += n_slices
 
             trigger = ScheduleTrigger(dt_kinds & {EventKind.HORIZON})
@@ -435,11 +506,21 @@ class SliceSimulator:
             for c in self._calendar.pop_due(self.now + 1e-12)
             if c.coflow_id not in self._cancelled
         ]
+        tr = self.obs.tracer
         for coflow in due:
             rec = self._coflows[coflow.coflow_id]
             self._state[rec.global_idx] = _ACTIVE
             self._start[rec.global_idx] = self.now
             self._active.extend(int(g) for g in rec.global_idx)
+            if tr.enabled:
+                tr.emit(
+                    self.now,
+                    "arrival",
+                    coflow_id=int(coflow.coflow_id),
+                    n_flows=len(rec.global_idx),
+                )
+        if due:
+            self.obs.metrics.counter("engine.arrivals").inc(len(due))
         return due
 
     def _build_view(self, trigger: ScheduleTrigger) -> SchedulerView:
@@ -515,10 +596,18 @@ class SliceSimulator:
                 )
 
     def _apply_claims(self, view: SchedulerView, alloc: Allocation) -> None:
+        claims: Dict[int, int] = {}
         for pos in np.nonzero(alloc.compress)[0]:
             node = int(view.src[pos])
             self.cpu.claim(node)
             self._claim_nodes.append(node)
+            claims[node] = claims.get(node, 0) + 1
+        if claims:
+            tr = self.obs.tracer
+            if tr.enabled:
+                for node, n in sorted(claims.items()):
+                    tr.emit(self.now, "core_claim", node=node, claims=n)
+            self.obs.metrics.counter("engine.core_claims").inc(sum(claims.values()))
 
     def _release_claims(self) -> None:
         for node in self._claim_nodes:
@@ -526,41 +615,49 @@ class SliceSimulator:
         self._claim_nodes.clear()
 
     def _horizon_slices(self, view, alloc, until):
-        """Slices to advance until the next interesting boundary."""
-        dt_min = math.inf
-        kinds = set()
+        """Slices to advance until the next interesting boundary.
+
+        Returns ``(n, kinds)``: the number of slices to fast-forward and
+        the *union* of every event kind that lands within the advanced
+        window ``(now, now + n·δ]``.  All such events take effect at the
+        boundary (arrivals activate, drained flows retire, capacity
+        changes apply), so the trigger handed to the scheduler must carry
+        all of their kinds — keeping only the earliest kind would drop
+        coincident triggers at tied boundaries (e.g. an arrival and a
+        completion at the same instant) and break the Upgrade step's
+        fire-at-every-event contract (Pseudocode 3).
+        """
+        candidates: List = []
         nxt = self._next_arrival()
         if nxt is not None:
-            dt = max(nxt - self.now, 0.0)
-            if dt < dt_min:
-                dt_min, kinds = dt, {EventKind.ARRIVAL}
+            candidates.append((max(nxt - self.now, 0.0), EventKind.ARRIVAL))
         R = self.compression.speed if self.compression is not None else 0.0
         vol = view.raw + view.comp
         tx = alloc.rates > 0
         if tx.any():
             dt = float((vol[tx] / alloc.rates[tx]).min())
-            if dt < dt_min:
-                dt_min, kinds = dt, {EventKind.COMPLETION}
+            candidates.append((dt, EventKind.COMPLETION))
         cz = alloc.compress
         if cz.any() and R > 0:
-            dt = float((view.raw[cz] / R).min())
-            if dt < dt_min:
-                dt_min, kinds = dt, {EventKind.RAW_EXHAUSTED}
+            candidates.append((float((view.raw[cz] / R).min()), EventKind.RAW_EXHAUSTED))
         if self._cap_events:
-            dt = max(self._cap_events[0][0] - self.now, 0.0)
-            if dt < dt_min:
-                dt_min, kinds = dt, {EventKind.CAPACITY}
+            candidates.append(
+                (max(self._cap_events[0][0] - self.now, 0.0), EventKind.CAPACITY)
+            )
         if until is not None:
-            dt = until - self.now
-            if dt < dt_min:
-                dt_min, kinds = dt, {EventKind.HORIZON}
-        if not math.isfinite(dt_min):
+            candidates.append((until - self.now, EventKind.HORIZON))
+        if not candidates:
             raise SimulationError(
                 f"{self.scheduler.name}: no flow transmits or compresses and "
                 "no arrival is pending — simulated time cannot advance "
                 f"(t={self.now:.6g}, {view.num_flows} active flows)"
             )
+        dt_min = min(dt for dt, _ in candidates)
         n = max(1, int(math.ceil(dt_min / self.slice_len - 1e-9)))
+        # Slice-grid epsilon: events within one part in 1e9 of the boundary
+        # are ties, matching the ceil() tolerance above.
+        window = n * self.slice_len * (1.0 + 1e-9)
+        kinds = {kind for dt, kind in candidates if dt <= window}
         return n, kinds
 
     def _integrate(self, view: SchedulerView, alloc: Allocation, dt: float) -> None:
@@ -592,6 +689,7 @@ class SliceSimulator:
             self._comp[gi] = np.maximum(self._comp[gi], 0.0)
             self._bytes_sent[gi] += sent
             self._comp_out[gi] += from_comp
+            self.obs.metrics.counter("engine.bytes_sent").inc(float(sent.sum()))
             self._ingress_bytes += np.bincount(
                 self._src[gi], weights=sent, minlength=len(self._ingress_bytes)
             )
@@ -618,8 +716,18 @@ class SliceSimulator:
         self._finish[done_idx] = boundary
         unset = self._finish_phys[done_idx] == 0.0
         self._finish_phys[done_idx[unset]] = boundary
+        tr = self.obs.tracer
+        mx = self.obs.metrics
+        mx.counter("engine.flow_completions").inc(len(done_idx))
         for g in done_idx:
             fr = self._make_flow_result(int(g))
+            if tr.enabled:
+                tr.emit(
+                    boundary,
+                    "completion",
+                    flow_id=fr.flow_id,
+                    coflow_id=fr.coflow_id,
+                )
             self._flow_results.append(fr)
             for fn in self._on_flow_complete:
                 fn(fr)
@@ -644,6 +752,9 @@ class SliceSimulator:
                 flow_results=list(rec.flow_results),
                 deadline=rec.coflow.deadline,
             )
+            if tr.enabled:
+                tr.emit(boundary, "completion", coflow_id=cid)
+            mx.counter("engine.completions").inc()
             self._coflow_results.append(cr)
             for fn in self._on_coflow_complete:
                 fn(cr)

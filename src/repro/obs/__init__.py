@@ -1,0 +1,96 @@
+"""Structured observability: tracing, metrics and profiling for the engine.
+
+Debugging a vectorised discrete-event engine by print statements does not
+scale: a single replay produces thousands of decision points, and the
+interesting question is almost always *why* the scheduler was woken up and
+*what* it decided — the trigger kinds, the Γ_C/P ordering, the β
+assignments, the rate vector.  This package makes those observable as
+typed records without touching the hot paths when disabled:
+
+* :mod:`repro.obs.trace` — an event tracer emitting typed records with
+  JSONL export (read back via :func:`repro.analysis.read_trace`);
+* :mod:`repro.obs.metrics` — counters, gauges and summary histograms
+  (decision latency, slices fast-forwarded per jump, bus traffic …);
+* :mod:`repro.obs.profile` — wall-clock profiling of named sections
+  (``schedule`` and ``integrate`` hot paths).
+
+The three are bundled in an :class:`Observability` object that the engine,
+the Swallow system layer and the cluster simulator all accept.  The default
+is :data:`NULL_OBS`, whose components are permanently disabled; every hook
+site guards on ``enabled`` before building a record, so a run without
+observability pays only a predicate check per decision point (guarded in
+``benchmarks/bench_engine_microbench.py`` to stay under 5%).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, Profiler
+from repro.obs.trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_PROFILER",
+    "NULL_TRACER",
+    "Observability",
+    "Profiler",
+    "TraceRecord",
+    "Tracer",
+]
+
+
+class Observability:
+    """Bundle of tracer + metrics + profiler handed through the stack.
+
+    Parameters
+    ----------
+    trace:
+        Record typed events (decision points, arrivals, Γ orderings …).
+    metrics:
+        Maintain counters/gauges/histograms.  Metrics are cheap enough to
+        stay on even when tracing is off.
+    profile:
+        Time the ``schedule``/``integrate`` hot sections.
+    """
+
+    __slots__ = ("tracer", "metrics", "profiler")
+
+    def __init__(
+        self,
+        trace: bool = True,
+        metrics: bool = True,
+        profile: bool = False,
+    ):
+        self.tracer = Tracer() if trace else NULL_TRACER
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.profiler = Profiler() if profile else NULL_PROFILER
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any component would record anything."""
+        return (
+            self.tracer.enabled
+            or self.metrics.enabled
+            or self.profiler.enabled
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Observability trace={self.tracer.enabled} "
+            f"metrics={self.metrics.enabled} profile={self.profiler.enabled}>"
+        )
+
+
+class _NullObservability(Observability):
+    """The do-nothing default: every component permanently disabled."""
+
+    def __init__(self):
+        self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry(enabled=False)
+        self.profiler = NULL_PROFILER
+
+
+#: Shared disabled instance — the default everywhere an ``obs`` is accepted.
+NULL_OBS = _NullObservability()

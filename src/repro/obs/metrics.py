@@ -1,0 +1,207 @@
+"""Counters, gauges and summary histograms for the engine and system layers.
+
+The registry is deliberately tiny — a dict of named instruments — because
+the point is the *names*: a stable metric vocabulary that benches and tests
+can assert on.  Standard names used by the built-in hooks:
+
+=================================  =========  ================================
+name                               type       meaning
+=================================  =========  ================================
+``engine.decisions``               counter    scheduler invocations
+``engine.arrivals``                counter    coflows activated
+``engine.completions``             counter    coflows finished
+``engine.flow_completions``        counter    flows finished
+``engine.cancellations``           counter    flows aborted via cancel_coflow
+``engine.decision_latency``        histogram  seconds inside Scheduler.schedule
+``engine.slices_jumped``           histogram  slices fast-forwarded per jump
+``engine.bytes_sent``              counter    bytes put on the wire
+``fvdf.backfill_rate``             counter    work-conservation rate handed out
+``fvdf.upgrades``                  counter    priority-class upgrade events
+``bus.messages.<topic>``           counter    messages published per topic
+=================================  =========  ================================
+
+A disabled registry returns a shared no-op instrument from every accessor,
+so hook sites need no guards: ``metrics.counter("x").inc()`` is safe and
+nearly free either way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically-increasing count (float to allow byte totals)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value:g}>"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value:g}>"
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max / mean.
+
+    Keeps O(1) state rather than raw samples — decision latencies alone
+    would otherwise grow with every decision point of a long replay.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:g}>"
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+Instrument = Union[Counter, Gauge, Histogram, _NullInstrument]
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name is bound to one instrument type for the registry's lifetime;
+    asking for the same name as a different type raises ``TypeError`` —
+    that is always a hook-site bug.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls) -> Instrument:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------ inspection
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Counter/gauge value by name (``default`` when absent)."""
+        inst = self._instruments.get(name)
+        return getattr(inst, "value", default) if inst is not None else default
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat snapshot: counters/gauges → value, histograms → summary."""
+        out: Dict[str, object] = {}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Histogram):
+                out[name] = inst.summary()
+            else:
+                out[name] = inst.value
+        return out
+
+    def render(self) -> str:
+        """Human-readable dump, one instrument per line."""
+        lines = []
+        for name, val in self.as_dict().items():
+            if isinstance(val, dict):
+                lines.append(
+                    f"{name}: n={val['count']} mean={val['mean']:.6g} "
+                    f"min={val['min']:.6g} max={val['max']:.6g}"
+                )
+            else:
+                lines.append(f"{name}: {val:g}")
+        return "\n".join(lines)

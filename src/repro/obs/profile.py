@@ -1,0 +1,151 @@
+"""Wall-clock profiling of named code sections.
+
+Meant for the two hot paths the DESIGN performance notes call out —
+``Scheduler.schedule()`` and the engine's volume integration — but any
+section name works::
+
+    prof = Profiler()
+    with prof.section("schedule"):
+        alloc = scheduler.schedule(view)
+    print(prof.report())
+
+The disabled profiler (:data:`NULL_PROFILER`) returns a shared no-op
+context manager, so instrumented code costs one attribute check per block
+when profiling is off.  The engine additionally guards its ``section``
+calls on :attr:`Profiler.enabled` to keep the disabled path free of any
+context-manager overhead.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Tuple
+
+__all__ = ["NULL_PROFILER", "Profiler", "SectionStats"]
+
+
+class SectionStats:
+    """Aggregate wall-clock time of one named section."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed < self.min:
+            self.min = elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _Section:
+    """Context manager timing one entry into a section."""
+
+    __slots__ = ("_stats", "_t0")
+
+    def __init__(self, stats: SectionStats):
+        self._stats = stats
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stats.add(time.perf_counter() - self._t0)
+
+
+class _NullSection:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_SECTION = _NullSection()
+
+
+class Profiler:
+    """Accumulates per-section wall-clock statistics."""
+
+    __slots__ = ("enabled", "_sections")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._sections: Dict[str, SectionStats] = {}
+
+    def section(self, name: str):
+        """Context manager timing one pass through ``name``."""
+        if not self.enabled:
+            return _NULL_SECTION
+        return _Section(self._stats_for(name))
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Record an externally-measured duration against ``name`` —
+        for call sites that already hold a ``perf_counter`` delta."""
+        if self.enabled:
+            self._stats_for(name).add(elapsed)
+
+    def _stats_for(self, name: str) -> SectionStats:
+        stats = self._sections.get(name)
+        if stats is None:
+            stats = SectionStats(name)
+            self._sections[name] = stats
+        return stats
+
+    def stats(self, name: str) -> SectionStats:
+        """Stats for ``name`` (zeroed entry if never entered)."""
+        return self._sections.get(name) or SectionStats(name)
+
+    def items(self) -> List[Tuple[str, SectionStats]]:
+        """(name, stats) pairs, most total time first."""
+        return sorted(
+            self._sections.items(), key=lambda kv: kv[1].total, reverse=True
+        )
+
+    def report(self) -> str:
+        """Tabular summary, one section per line."""
+        if not self._sections:
+            return "(no sections profiled)"
+        lines = [
+            f"{'section':<20} {'calls':>8} {'total s':>10} {'mean ms':>10} {'max ms':>10}"
+        ]
+        for name, s in self.items():
+            lines.append(
+                f"{name:<20} {s.count:>8} {s.total:>10.4f} "
+                f"{s.mean * 1e3:>10.4f} {s.max * 1e3:>10.4f}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._sections.clear()
+
+
+class _NullProfiler(Profiler):
+    """Permanently-disabled profiler."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def section(self, name: str):  # pragma: no cover
+        return _NULL_SECTION
+
+
+#: Shared disabled profiler — the default wherever a profiler is accepted.
+NULL_PROFILER = _NullProfiler()

@@ -1,0 +1,176 @@
+"""Typed event tracing with JSONL export.
+
+A :class:`Tracer` collects :class:`TraceRecord` instances — a simulated
+timestamp, a record kind, and a flat payload dict.  Hook sites in the
+engine and system layers guard every emission on :attr:`Tracer.enabled`,
+so the disabled tracer (:data:`NULL_TRACER`) costs one attribute check and
+nothing else.
+
+Record kinds (the schema is documented in ``docs/observability.md``):
+
+======================  ====================================================
+kind                    payload
+======================  ====================================================
+``decision``            ``kinds`` (trigger kinds), ``n_flows``, ``n_coflows``
+``jump``                ``n_slices``, ``kinds`` (what bounded the horizon)
+``order``               ``units``: ranked ``[coflow_id, gamma, p, key]``
+``rates``               ``n_tx``, ``total``, ``max`` of the rate vector
+``beta``                ``flow_ids`` granted compression this window
+``core_claim``          ``node``, ``claims`` per-node core claims
+``arrival``             ``coflow_id``, ``n_flows``
+``completion``          ``coflow_id`` (coflow done) / ``flow_id`` (flow done)
+``cancel``              ``coflow_id``, ``n_flows`` aborted
+``capacity``            ``side``, ``port``, ``capacity``
+``bus``                 ``topic`` of a published message
+``master_order``        master's ranked ``coflow_ids`` for a scheduling()
+``heartbeat``           daemon measurement: ``node``, ``free_cores``
+======================  ====================================================
+
+Timestamps are simulated seconds (engine records) or ``-1`` for records
+emitted outside simulated time (e.g. master RPCs driven by a test).
+"""
+
+from __future__ import annotations
+
+import json
+from enum import Enum
+from typing import Any, Callable, Dict, IO, Iterable, Iterator, List, NamedTuple, Optional, Set, Union
+
+__all__ = ["NULL_TRACER", "TraceRecord", "Tracer", "record_to_json", "record_from_json"]
+
+
+class TraceRecord(NamedTuple):
+    """One traced event: when, what, and the typed payload."""
+
+    t: float
+    kind: str
+    data: Dict[str, Any]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce payload values to JSON-stable types (EventKind sets → names)."""
+    if isinstance(value, Enum):
+        return value.name
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return value
+
+
+def record_to_json(record: TraceRecord) -> str:
+    """Serialise one record to a single JSON line."""
+    payload = {"t": record.t, "kind": record.kind}
+    payload.update(_jsonable(record.data))
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def record_from_json(line: str) -> TraceRecord:
+    """Parse one JSONL line back into a :class:`TraceRecord`."""
+    obj = json.loads(line)
+    t = float(obj.pop("t"))
+    kind = str(obj.pop("kind"))
+    return TraceRecord(t=t, kind=kind, data=obj)
+
+
+class Tracer:
+    """Collects trace records in order; exports them as JSONL.
+
+    Parameters
+    ----------
+    limit:
+        Maximum records kept (oldest beyond the limit are dropped and
+        counted in :attr:`dropped`); ``None`` keeps everything.
+    sink:
+        Optional callable invoked with every record as it is emitted —
+        lets a caller stream records to disk instead of buffering.
+    """
+
+    __slots__ = ("enabled", "records", "dropped", "_limit", "_sink")
+
+    def __init__(
+        self,
+        limit: Optional[int] = None,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ):
+        self.enabled = True
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._limit = limit
+        self._sink = sink
+
+    # ------------------------------------------------------------- emission
+    def emit(self, t: float, kind: str, **data: Any) -> None:
+        """Record one event.  Call sites must guard on :attr:`enabled` so a
+        disabled tracer never pays for payload construction."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(t=float(t), kind=kind, data=data)
+        if self._sink is not None:
+            self._sink(rec)
+        self.records.append(rec)
+        if self._limit is not None and len(self.records) > self._limit:
+            del self.records[0]
+            self.dropped += 1
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in emission order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def kinds_at(self, t: float, tol: float = 1e-9) -> Set[str]:
+        """Record kinds observed at simulated instant ``t`` (± ``tol``)."""
+        return {r.kind for r in self.records if abs(r.t - t) <= tol}
+
+    def counts(self) -> Dict[str, int]:
+        """Record count per kind."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    # --------------------------------------------------------------- export
+    def dump_jsonl(self, dest: Union[str, IO[str]]) -> int:
+        """Write all buffered records as JSON lines; returns the count."""
+        if hasattr(dest, "write"):
+            return self._write(dest, self.records)  # type: ignore[arg-type]
+        with open(dest, "w", encoding="utf-8") as fh:
+            return self._write(fh, self.records)
+
+    @staticmethod
+    def _write(fh: IO[str], records: Iterable[TraceRecord]) -> int:
+        n = 0
+        for rec in records:
+            fh.write(record_to_json(rec))
+            fh.write("\n")
+            n += 1
+        return n
+
+
+class _NullTracer(Tracer):
+    """Permanently-disabled tracer; :meth:`emit` is a no-op."""
+
+    def __init__(self):
+        super().__init__()
+        self.enabled = False
+
+    def emit(self, t: float, kind: str, **data: Any) -> None:  # pragma: no cover
+        return None
+
+
+#: Shared disabled tracer — the default wherever a tracer is accepted.
+NULL_TRACER = _NullTracer()

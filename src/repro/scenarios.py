@@ -85,6 +85,7 @@ def run_motivating_example(
     slice_len: float = 0.01,
     bandwidth: float = 1.0,
     cores_per_node: int = 1,
+    obs=None,
 ) -> SimulationResult:
     """Run one policy on the Fig. 3 workload and return the result."""
     fabric, coflows = motivating_example(bandwidth)
@@ -96,6 +97,7 @@ def run_motivating_example(
         compression=motivating_compression_engine(bandwidth)
         if scheduler.uses_compression
         else None,
+        obs=obs,
     )
     sim.submit_many(coflows)
     return sim.run()

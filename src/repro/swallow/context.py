@@ -69,6 +69,9 @@ class SwallowContext:
         Have the worker daemons report node status to the master at every
         engine decision point (the paper's periodic measurement messages),
         instead of only on explicit :meth:`heartbeat` calls.
+    obs:
+        Observability bundle shared by the engine, bus, master and workers
+        — one trace covers the whole system (default: disabled).
     """
 
     _instance: Optional["SwallowContext"] = None
@@ -83,10 +86,12 @@ class SwallowContext:
         cores_per_node: int = 4,
         real_compression: bool = False,
         auto_heartbeat: bool = False,
+        obs=None,
     ):
         if num_nodes <= 0:
             raise ConfigurationError("num_nodes must be positive")
-        self.bus = MessageBus()
+        self.bus = MessageBus(obs=obs)
+        self.obs = self.bus.obs
         self.fabric = BigSwitch(num_nodes, bandwidth)
         self.cpu = CpuModel(num_nodes, cores_per_node=cores_per_node)
         self.compression = (
@@ -98,7 +103,9 @@ class SwallowContext:
             slice_len=slice_len,
             cpu=self.cpu,
             compression=self.compression,
+            obs=obs,
         )
+        self.bus.clock = lambda: self.engine.now
         self.master = SwallowMaster(
             self.bus,
             link_bandwidth=float(self.fabric.ingress.capacity.min()),

@@ -58,10 +58,16 @@ class SwallowMaster:
         self.link_bandwidth = link_bandwidth
         self.compression = compression
         self.logbase = logbase
+        #: Observability: shared with the bus so master decisions land in
+        #: the same trace as engine records.
+        self.obs = bus.obs
         self._coflows: Dict[int, _Registered] = {}
         self._next_id = 0
         self._measurements: Dict[int, MeasurementMsg] = {}
         bus.subscribe("master/measurement", self._on_measurement)
+
+    def _now(self) -> float:
+        return self.bus.clock() if self.bus.clock is not None else -1.0
 
     # ------------------------------------------------------------- protocol
     def _on_measurement(self, msg: MeasurementMsg) -> None:
@@ -91,6 +97,8 @@ class SwallowMaster:
         """Pseudocode 3 Upgrade, triggered at arrivals and completions."""
         for reg in self._coflows.values():
             reg.priority_class *= self.logbase
+        if self._coflows:
+            self.obs.metrics.counter("master.upgrades").inc(len(self._coflows))
 
     # ------------------------------------------------------------- decisions
     def _beta(self, flow) -> bool:
@@ -128,6 +136,21 @@ class SwallowMaster:
                 raise ProtocolError(f"scheduling() over unknown coflow {ref.coflow_id}")
             regs.append(reg)
         regs.sort(key=lambda r: self.gamma(r.info) / r.priority_class)
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.emit(
+                self._now(),
+                "master_order",
+                units=[
+                    [
+                        r.ref.coflow_id,
+                        self.gamma(r.info),
+                        r.priority_class,
+                        self.gamma(r.info) / r.priority_class,
+                    ]
+                    for r in regs
+                ],
+            )
         compress: Dict[int, bool] = {}
         rates: Dict[int, float] = {}
         for reg in regs:

@@ -116,6 +116,37 @@ class TestCancellation:
         assert len(res.flow_results) == 1  # but the finished flow is kept
         assert res.flow_results[0].size == 1.0
 
+    def test_cancel_stamps_cancellation_time(self):
+        """Regression: cancelled flows used to keep ``_finish == 0.0`` (and
+        pending ones a stale ``_start``), indistinguishable from flows that
+        finished at t=0.  Cancellation must stamp the abort instant and
+        emit a ``cancel`` trace record."""
+        from repro.obs import Observability
+
+        obs = Observability()
+        sim = SliceSimulator(BigSwitch(2, 1.0), make_scheduler("sebf"),
+                             slice_len=0.01, obs=obs)
+        active = Coflow([Flow(0, 0, 100.0)], label="active")
+        pending = Coflow([Flow(1, 1, 1.0)], arrival=5.0, label="pending")
+        sim.submit_many([active, pending])
+        sim.run(until=0.5)
+        sim.cancel_coflow(active.coflow_id)
+        sim.cancel_coflow(pending.coflow_id)
+        g_active = sim._coflows[active.coflow_id].global_idx[0]
+        g_pending = sim._coflows[pending.coflow_id].global_idx[0]
+        assert sim._finish[g_active] == pytest.approx(0.5)
+        assert sim._finish_phys[g_active] == pytest.approx(0.5)
+        # the never-started flow gets start == finish == cancellation time
+        assert sim._start[g_pending] == pytest.approx(0.5)
+        assert sim._finish[g_pending] == pytest.approx(0.5)
+        recs = obs.tracer.of_kind("cancel")
+        assert [(r.data["coflow_id"], r.data["n_flows"]) for r in recs] == [
+            (active.coflow_id, 1),
+            (pending.coflow_id, 1),
+        ]
+        assert all(r.t == pytest.approx(0.5) for r in recs)
+        assert obs.metrics.value("engine.cancellations") == 2
+
     def test_cancel_unknown_or_complete(self):
         sim = self.make_sim()
         c = Coflow([Flow(0, 0, 1.0)])

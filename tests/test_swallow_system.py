@@ -53,6 +53,41 @@ class TestMessageBus:
         bus.publish("t", "hello")
         assert bus.log == [("t", "hello")]
 
+    def test_handler_may_subscribe_during_delivery(self):
+        """Regression: publish() iterates a snapshot, so a handler that
+        subscribes another handler mid-delivery must not corrupt the
+        iteration — the new handler first sees the *next* publish."""
+        bus = MessageBus()
+        late = []
+
+        def self_subscriber(msg):
+            bus.subscribe("t", late.append)
+
+        bus.subscribe("t", self_subscriber)
+        bus.publish("t", 1)
+        assert late == []  # not delivered mid-iteration
+        bus.publish("t", 2)
+        assert late == [2]
+
+    def test_handler_may_unsubscribe_itself_during_delivery(self):
+        bus = MessageBus()
+        seen = []
+
+        def once(msg):
+            seen.append(msg)
+            bus.unsubscribe("t", once)
+
+        bus.subscribe("t", once)
+        bus.subscribe("t", lambda m: None)  # keeps the topic routed
+        bus.publish("t", "a")
+        bus.publish("t", "b")
+        assert seen == ["a"]
+
+    def test_unsubscribe_unknown_handler_raises(self):
+        bus = MessageBus()
+        with pytest.raises(ProtocolError, match="not subscribed"):
+            bus.unsubscribe("t", lambda m: None)
+
 
 class TestMessages:
     def test_flowinfo_validation(self):
