@@ -1,4 +1,4 @@
-.PHONY: install test lint bench reproduce examples clean
+.PHONY: install test lint bench bench-hotpath reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,12 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Re-run the hot-path scaling grid and append to BENCH_hotpath.json,
+# failing if the vectorized path has regressed below 3x over the pinned
+# scalar reference.
+bench-hotpath:
+	python -m repro bench --check
 
 reproduce:
 	python -m repro reproduce

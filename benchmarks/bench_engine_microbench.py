@@ -115,3 +115,51 @@ def test_disabled_tracing_overhead_under_5pct():
         f"disabled-observability run is {overhead:.1%} slower than the "
         f"default NULL_OBS path ({disabled:.4f}s vs {baseline:.4f}s)"
     )
+
+
+def test_incremental_view_overhead_under_5pct():
+    """Incremental view maintenance must never cost more than regrouping.
+
+    The simulator keeps the per-decision ``SchedulerView`` incrementally
+    (dirty flags + in-place volume updates) instead of regrouping active
+    flows from scratch at every decision point.  On a small workload —
+    where a from-scratch regroup is cheapest and the incremental
+    bookkeeping is pure overhead — the incremental path must stay within
+    5 % of the ``force_regroup`` path.  (At scale it is strictly faster;
+    ``benchmarks/bench_hotpath_scale.py`` tracks that side.)
+    """
+    cfg = WorkloadConfig(
+        num_coflows=60,
+        num_ports=16,
+        size_dist=LogNormalSizes(median=4 * MB, sigma=1.0, lo=256 * 1024, hi=64 * MB),
+        width=(1, 4),
+        arrival_rate=10.0,
+    )
+    workload = generate_workload(cfg, np.random.default_rng(7))
+    setup = ExperimentSetup(num_ports=16, bandwidth=mbps(200), slice_len=0.01)
+    obs = Observability(trace=False, metrics=False, profile=False)
+
+    def run(force_regroup):
+        from repro.schedulers import make_scheduler
+
+        sim = setup.build_simulator(make_scheduler("fvdf"), obs=obs)
+        sim.force_regroup = force_regroup
+        sim.submit_many(list(workload))
+        return sim.run()
+
+    def best_of(n, fn):
+        best = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    run(False)  # warm-up
+    regroup = best_of(5, lambda: run(True))
+    incremental = best_of(5, lambda: run(False))
+    overhead = incremental / regroup - 1.0
+    assert overhead < 0.05, (
+        f"incremental view path is {overhead:.1%} slower than per-decision "
+        f"regroup ({incremental:.4f}s vs {regroup:.4f}s)"
+    )

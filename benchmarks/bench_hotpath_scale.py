@@ -1,0 +1,73 @@
+"""Hot-path scaling benchmark — the tracked ``BENCH_hotpath.json`` grid.
+
+Runs the flows × coflows × ports scaling grid from
+:mod:`repro.analysis.perfbench` against both the vectorized FVDF engine
+and the pinned pre-vectorization reference, appends the timings to the
+``BENCH_hotpath.json`` trajectory at the repo root, and asserts the
+tracked speedup ratio on the large case.
+
+Run directly (appends an entry and prints the summary)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath_scale.py [--label tag]
+
+or via the CLI wrapper / make target::
+
+    python -m repro bench --check
+    make bench-hotpath
+
+Under pytest the grid is marked ``slow`` — the full run takes a couple
+of minutes because the reference baseline is, by design, slow.
+"""
+
+import argparse
+import json
+import sys
+
+import pytest
+
+from repro.analysis import perfbench
+
+
+def _check(entry):
+    speedup = entry.get("speedup")
+    assert speedup is not None, "grid has no speedup anchor case"
+    assert speedup["ratio"] >= perfbench.MIN_SPEEDUP, (
+        f"hot-path speedup regressed: {speedup['ratio']:.2f}x < "
+        f"{perfbench.MIN_SPEEDUP:.1f}x on case {speedup['case']!r} "
+        f"(before {speedup['before_s']:.2f}s, after {speedup['after_s']:.2f}s)"
+    )
+
+
+@pytest.mark.slow
+def test_hotpath_speedup_grid():
+    """Vectorized engine is ≥ MIN_SPEEDUP× the scalar reference."""
+    entry = perfbench.bench_entry(repeats=2, label="pytest-guard")
+    _check(entry)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--label", default="")
+    parser.add_argument(
+        "--out", default=None,
+        help="trajectory file (default: BENCH_hotpath.json at repo root)",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="record the entry without asserting the speedup floor",
+    )
+    args = parser.parse_args(argv)
+
+    entry = perfbench.bench_entry(repeats=args.repeats, label=args.label)
+    path = args.out or perfbench.default_bench_path()
+    perfbench.append_entry(path, entry)
+    print(json.dumps(entry, indent=2))
+    print(f"appended to {path}")
+    if not args.no_check:
+        _check(entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ Subcommands
     Run a scenario with the observability layer enabled and write the
     structured event trace as JSONL (read back with
     :func:`repro.analysis.read_trace`).
+``bench``
+    Run the hot-path scaling grid and append an entry to the
+    ``BENCH_hotpath.json`` perf trajectory at the repo root.
 
 Examples::
 
@@ -28,6 +31,7 @@ Examples::
     python -m repro cluster --scale large
     python -m repro trace fig4 --policy fvdf --out fig4.jsonl
     python -m repro trace synthetic --coflows 50 --profile
+    python -m repro bench --check
 """
 
 from __future__ import annotations
@@ -264,6 +268,50 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the hot-path scaling grid, append to the perf trajectory."""
+    from repro.analysis import perfbench
+
+    entry = perfbench.bench_entry(repeats=args.repeats, label=args.label)
+    rows = [
+        [
+            c["name"],
+            f"{c['num_coflows']}cf/{c['num_ports']}p/w{c['max_width']}",
+            f"{c['wall_s']:.3f}s",
+            str(c["decisions"]),
+            f"{c['decisions_per_sec']:.0f}",
+            str(c["peak_active_flows"]),
+        ]
+        for c in entry["cases"]
+    ]
+    print(render_table(
+        ["case", "grid", "wall", "decisions", "dec/s", "peak flows"],
+        rows, title="hot-path scaling grid (best of "
+                    f"{entry['repeats']})",
+    ))
+    sp = entry["speedup"]
+    if sp is not None:
+        print(
+            f"\n{sp['case']} case: reference {sp['before_s']:.3f}s -> "
+            f"vectorized {sp['after_s']:.3f}s  ({sp['ratio']:.2f}x)"
+        )
+    out = Path(args.out) if args.out else perfbench.default_bench_path()
+    if not args.dry_run:
+        perfbench.append_entry(out, entry)
+        print(f"trajectory appended -> {out}")
+    if args.check:
+        if sp is None or sp["ratio"] < perfbench.MIN_SPEEDUP:
+            got = "n/a" if sp is None else f"{sp['ratio']:.2f}x"
+            print(
+                f"error: speedup check failed: {got} < "
+                f"{perfbench.MIN_SPEEDUP:.1f}x on {perfbench.SPEEDUP_CASE}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"speedup check passed (>= {perfbench.MIN_SPEEDUP:.1f}x)")
+    return 0
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterConfig, ClusterSimulator, hibench_suite
 
@@ -359,6 +407,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slice", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "bench", help="run the hot-path scaling grid (perf trajectory)"
+    )
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of-N timing repeats (default 3)")
+    p.add_argument("--label", default="",
+                   help="entry label recorded in the trajectory")
+    p.add_argument("--out", default=None,
+                   help="trajectory path (default: BENCH_hotpath.json at "
+                        "the repo root)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print results without touching the trajectory file")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless the large-grid speedup is "
+                        ">= 3x over the pinned reference")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("cluster", help="HiBench cluster run with/without Swallow")
     p.add_argument("--scale", default="large", choices=["large", "huge", "gigantic"])

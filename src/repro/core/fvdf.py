@@ -55,6 +55,16 @@ def compression_strategy(
     numpy.ndarray
         Boolean β per active flow.
     """
+    want = _compression_want(view, enable)
+    if not want.any():
+        return want
+    return view.compression.grant_cores(
+        want, view.src, view.free_cores, priority=order
+    )
+
+
+def _compression_want(view: SchedulerView, enable: bool) -> np.ndarray:
+    """The Eq. 3 wish-list: flows that *want* a core, before budgeting."""
     n = view.num_flows
     if not enable or view.compression is None or n == 0:
         return np.zeros(n, dtype=bool)
@@ -66,9 +76,7 @@ def compression_strategy(
     # finish the whole flow within one slice (Δt >= V), compressing first
     # can only add slice waste — never compress such flows.
     want &= view.volume > view.link_cap * view.slice_len
-    if not want.any():
-        return want
-    return engine.grant_cores(want, view.src, view.free_cores, priority=order)
+    return want
 
 
 def expected_fct(view: SchedulerView, beta: np.ndarray) -> np.ndarray:
@@ -94,12 +102,15 @@ def expected_fct(view: SchedulerView, beta: np.ndarray) -> np.ndarray:
 def coflow_gamma(view: SchedulerView, beta: np.ndarray) -> np.ndarray:
     """Eq. 8: ``Γ_C = max_f Γ_F(f)`` for every coflow in the view.
 
-    Returns an array aligned with ``view.coflows``.
+    Returns an array aligned with ``view.coflows``.  Computed as one
+    segment-max (``np.maximum.reduceat``) over the view's precomputed
+    unit offsets instead of a Python loop per coflow.
     """
+    if not view.coflows:
+        return np.empty(0)
     gamma_f = expected_fct(view, beta)
-    return np.asarray(
-        [float(gamma_f[cs.flow_idx].max()) for cs in view.coflows]
-    )
+    perm, starts = view.unit_offsets()
+    return np.maximum.reduceat(gamma_f[perm], starts[:-1])
 
 
 def upgrade(view: SchedulerView, logbase: float = DEFAULT_LOGBASE) -> None:
@@ -173,17 +184,42 @@ class FVDFScheduler(Scheduler):
         self._last_served.clear()
 
     # -- helpers ---------------------------------------------------------------
-    def _units(self, view: SchedulerView) -> List[Tuple[np.ndarray, float]]:
-        """Scheduling units as (flow indices, priority class P)."""
+    def _unit_segments(self, view: SchedulerView):
+        """Scheduling units as segment arrays over the active positions.
+
+        Returns ``(perm, starts, P, owner)``: ``perm[starts[u]:starts[u+1]]``
+        are unit *u*'s flow positions, ``P[u]`` its priority class and
+        ``owner[u]`` the index of its coflow in ``view.coflows``.  Coflow
+        granularity reuses the view's precomputed offsets verbatim; flow
+        granularity splits every position into its own unit (inheriting
+        its coflow's class) without materializing per-flow arrays.
+        """
+        perm, starts = view.unit_offsets()
+        n_cof = len(view.coflows)
+        p_cof = np.fromiter(
+            (cs.priority_class for cs in view.coflows),
+            dtype=np.float64,
+            count=n_cof,
+        )
         if self.config.granularity == "coflow":
-            return [(cs.flow_idx, cs.priority_class) for cs in view.coflows]
-        # Flow granularity: each flow is its own unit, inheriting its
-        # coflow's priority class.
-        units: List[Tuple[np.ndarray, float]] = []
-        for cs in view.coflows:
-            for i in cs.flow_idx:
-                units.append((np.asarray([i], dtype=np.intp), cs.priority_class))
-        return units
+            return perm, starts, p_cof, np.arange(n_cof, dtype=np.intp)
+        owner = np.repeat(np.arange(n_cof, dtype=np.intp), np.diff(starts))
+        starts_f = np.arange(len(perm) + 1, dtype=np.intp)
+        return perm, starts_f, p_cof[owner], owner
+
+    @staticmethod
+    def _flows_in_unit_order(perm, starts, order) -> np.ndarray:
+        """Active positions concatenated unit-by-unit in ``order``.
+
+        Equivalent to ``np.concatenate([flows(u) for u in order])`` but via
+        one stable argsort over a per-position unit rank — no per-unit
+        Python iteration.
+        """
+        n_units = len(starts) - 1
+        rank = np.empty(n_units, dtype=np.intp)
+        rank[order] = np.arange(n_units, dtype=np.intp)
+        key = np.repeat(rank, np.diff(starts))
+        return perm[np.argsort(key, kind="stable")]
 
     def schedule(self, view: SchedulerView) -> Allocation:
         n = view.num_flows
@@ -203,109 +239,115 @@ class FVDFScheduler(Scheduler):
             if upgraded:
                 self.obs.metrics.counter("fvdf.upgrades").inc(upgraded)
 
-        units = self._units(view)
+        perm, starts, P, owner = self._unit_segments(view)
 
         # Pass 1: optimistic β (budget resolved in arrival order) to get a
         # provisional urgency ranking, which then decides who actually wins
         # the contended cores.
-        beta0 = compression_strategy(view, enable=cfg.compress)
-        gamma0 = self._unit_gammas(view, beta0, units)
-        provisional = np.argsort(
-            [g / p for (_, p), g in zip(units, gamma0)], kind="stable"
-        )
-        flow_order = np.concatenate([units[u][0] for u in provisional])
+        want = _compression_want(view, cfg.compress)
+        if want.any():
+            beta0 = view.compression.grant_cores(
+                want, view.src, view.free_cores
+            )
+        else:
+            beta0 = want
+        gamma0 = self._unit_gammas(view, beta0, perm, starts)
+        provisional = np.argsort(gamma0 / P, kind="stable")
 
-        # Pass 2: definitive β honouring the urgency order, then final Γ.
-        beta = compression_strategy(view, enable=cfg.compress, order=flow_order)
-        gamma = self._unit_gammas(view, beta, units)
-        order = np.argsort(
-            [g / p for (_, p), g in zip(units, gamma)], kind="stable"
-        )
+        if bool((want & ~beta0).any()):
+            # Pass 2: some node had more candidates than free cores, so the
+            # urgency order decides who wins — re-grant and re-rank.
+            flow_order = self._flows_in_unit_order(perm, starts, provisional)
+            beta = view.compression.grant_cores(
+                want, view.src, view.free_cores, priority=flow_order
+            )
+            gamma = self._unit_gammas(view, beta, perm, starts)
+            order = np.argsort(gamma / P, kind="stable")
+        else:
+            # Every compression wish was granted (no contended cores), so
+            # priority cannot change β; β unchanged ⇒ Γ unchanged ⇒ the
+            # provisional ranking is already final — skip pass 2.
+            beta, gamma, order = beta0, gamma0, provisional
         tr = self.obs.tracer
         if tr.enabled:
+            first_flow = perm[starts[:-1]]
             tr.emit(
                 view.time,
                 "order",
                 units=[
                     [
-                        int(view.coflow_ids[units[u][0][0]]),
+                        int(view.coflow_ids[first_flow[u]]),
                         float(gamma[u]),
-                        float(units[u][1]),
-                        float(gamma[u] / units[u][1]),
+                        float(P[u]),
+                        float(gamma[u] / P[u]),
                     ]
                     for u in order
                 ],
             )
         if cfg.aging in ("decay", "reset") and len(order) and view.trigger.is_preemption_point:
-            head_flow = units[order[0]][0][0]
-            head_cid = view.coflow_ids[head_flow]
-            for cs in view.coflows:
-                if cs.coflow_id == head_cid:
-                    if cfg.aging == "reset":
-                        cs.priority_class = 1.0
-                    else:  # decay: undo this event's upgrade and one more
-                        cs.priority_class = max(
-                            1.0, cs.priority_class / cfg.logbase**2
-                        )
-                    break
+            cs = view.coflows[int(owner[order[0]])]
+            if cfg.aging == "reset":
+                cs.priority_class = 1.0
+            else:  # decay: undo this event's upgrade and one more
+                cs.priority_class = max(1.0, cs.priority_class / cfg.logbase**2)
 
-        rates = self._allocate(view, units, order, gamma, beta)
+        rates = self._allocate(view, perm, starts, order, gamma, beta)
+        served_pos = (rates > 0) | beta
+        cperm, cstarts = view.unit_offsets()
+        served = np.logical_or.reduceat(served_pos[cperm], cstarts[:-1])
         self._last_served = {
-            cs.coflow_id: bool(
-                (rates[cs.flow_idx] > 0).any() or beta[cs.flow_idx].any()
-            )
-            for cs in view.coflows
+            cs.coflow_id: bool(served[k]) for k, cs in enumerate(view.coflows)
         }
         return Allocation(rates=rates, compress=beta)
 
-    def _unit_gammas(self, view, beta, units) -> np.ndarray:
+    def _unit_gammas(self, view, beta, perm, starts) -> np.ndarray:
+        """Γ per unit: one segment-max over the unit offsets (Eq. 8)."""
+        if len(perm) == 0:
+            return np.empty(0)
         gamma_f = expected_fct(view, beta)
-        return np.asarray([float(gamma_f[idx].max()) for idx, _ in units])
+        return np.maximum.reduceat(gamma_f[perm], starts[:-1])
 
-    def _allocate(self, view, units, order, gamma, beta) -> np.ndarray:
+    def _allocate(self, view, perm, starts, order, gamma, beta) -> np.ndarray:
         rem_in, rem_out = view.fresh_capacity()
         extra = view.fresh_extra()
         vol = view.volume
-        rates = np.zeros(view.num_flows)
+        n = view.num_flows
         sendable = ~beta & (vol > 0)
         if self.config.rate_policy == "madd":
-            groups = [units[u][0][sendable[units[u][0]]] for u in order]
+            groups = []
+            for u in order:
+                idx = perm[starts[u] : starts[u + 1]]
+                groups.append(idx[sendable[idx]])
             return ra.madd(
                 groups, view.src, view.dst, vol, rem_in, rem_out, extra=extra
             )
+        flow_order = self._flows_in_unit_order(perm, starts, order)
+        flow_order = flow_order[sendable[flow_order]]
         if self.config.rate_policy == "minimal":
             # Paper line 29: r = f.V / C.Γ_C — the minimum rate finishing the
-            # flow within its coflow's expected completion time.
+            # flow within its coflow's expected completion time.  Both the
+            # minimal pass and the work-conserving backfill are one
+            # priority fill each: same flow order, with/without the V/Γ
+            # demand cap.
             dims = ra.build_dims(view.src, view.dst, rem_in, rem_out, extra)
-            for u in order:
-                idx, _ = units[u]
-                g = max(gamma[u], view.slice_len)
-                for i in idx:
-                    if not sendable[i]:
-                        continue
-                    r = min(vol[i] / g, ra.flow_headroom(i, dims))
-                    if r <= 0:
-                        continue
-                    rates[i] = r
-                    ra.consume(i, r, dims)
+            unit_of_pos = np.empty(n, dtype=np.intp)
+            unit_of_pos[perm] = np.repeat(
+                np.arange(len(starts) - 1, dtype=np.intp), np.diff(starts)
+            )
+            demands = vol / np.maximum(gamma, view.slice_len)[unit_of_pos]
+            rates = np.zeros(n)
+            gathers = ra.gather_groups(flow_order, dims)
+            ra.priority_fill(
+                flow_order, dims, demands=demands, out=rates, gathers=gathers
+            )
+            minimal_total = float(rates.sum())
             # Work conservation: hand out leftovers in priority order.
-            backfill = 0.0
-            for u in order:
-                for i in units[u][0]:
-                    if not sendable[i]:
-                        continue
-                    headroom = ra.flow_headroom(i, dims)
-                    if headroom <= 0:
-                        continue
-                    rates[i] += headroom
-                    ra.consume(i, headroom, dims)
-                    backfill += headroom
+            ra.priority_fill(flow_order, dims, out=rates, gathers=gathers)
+            backfill = float(rates.sum()) - minimal_total
             if backfill > 0:
                 self.obs.metrics.counter("fvdf.backfill_rate").inc(backfill)
             return rates
         # "greedy": strict priority in unit order.
-        flow_order = [i for u in order for i in units[u][0] if sendable[i]]
         return ra.greedy_priority(
-            np.asarray(flow_order, dtype=np.intp),
-            view.src, view.dst, rem_in, rem_out, extra=extra,
+            flow_order, view.src, view.dst, rem_in, rem_out, extra=extra,
         )

@@ -17,6 +17,7 @@ Contract (enforced by the engine):
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -82,20 +83,44 @@ class SchedulerView:
     coflows: List[CoflowState]
     free_cores: np.ndarray
     compression: Optional[CompressionEngine]
+    #: Optional precomputed coflow segmentation: ``unit_perm`` lists every
+    #: active-flow position grouped by coflow (in ``coflows`` order) and
+    #: ``unit_starts`` the segment offsets (``len(coflows) + 1`` entries),
+    #: so segment ops like ``np.maximum.reduceat`` replace per-coflow
+    #: Python loops.  Derived lazily from ``coflows`` when not supplied.
+    unit_perm: Optional[np.ndarray] = None
+    unit_starts: Optional[np.ndarray] = None
 
     @property
     def num_flows(self) -> int:
         return len(self.flow_ids)
 
-    @property
+    @functools.cached_property
     def volume(self) -> np.ndarray:
-        """Remaining volume ``V = d + D`` per flow."""
+        """Remaining volume ``V = d + D`` per flow (computed once per view)."""
         return self.raw + self.comp
 
-    @property
+    @functools.cached_property
     def link_cap(self) -> np.ndarray:
-        """Per-flow end-to-end capacity ``min(B_s, B_r)``."""
+        """Per-flow capacity ``min(B_s, B_r)`` (computed once per view)."""
         return self.fabric.flow_link_cap(self.src, self.dst)
+
+    def unit_offsets(self):
+        """The ``(unit_perm, unit_starts)`` segmentation, computing and
+        caching it from ``coflows`` when the engine did not supply one."""
+        if self.unit_perm is None:
+            if self.coflows:
+                self.unit_perm = np.concatenate(
+                    [cs.flow_idx for cs in self.coflows]
+                ).astype(np.intp, copy=False)
+                lengths = np.asarray([len(cs.flow_idx) for cs in self.coflows])
+            else:
+                self.unit_perm = np.empty(0, dtype=np.intp)
+                lengths = np.empty(0, dtype=np.intp)
+            self.unit_starts = np.concatenate(([0], np.cumsum(lengths))).astype(
+                np.intp
+            )
+        return self.unit_perm, self.unit_starts
 
     def fresh_capacity(self):
         """Writable copies of (ingress, egress) capacities for allocation."""

@@ -195,10 +195,31 @@ class SliceSimulator:
         self._finish_phys = np.empty(0, dtype=np.float64)
         self._state = np.empty(0, dtype=np.int8)
 
-        self._active: List[int] = []
+        #: Active-flow global indices, maintained as an ndarray so view
+        #: building and volume integration never round-trip through lists.
+        self._active = np.empty(0, dtype=np.intp)
         self._cancelled: set = set()
+        # --- incremental view cache ------------------------------------------
+        # Coflow grouping (and every gather of per-flow constants) only
+        # changes when the active set changes: arrivals, completions and
+        # cancellations set ``_groups_dirty``; every other decision point
+        # reuses the cached segmentation and static columns.
+        self._groups_dirty = True
+        #: Debug/benchmark knob: force a full regroup at every decision
+        #: point, restoring the pre-incremental view-building cost (used
+        #: by the perf harness to measure the cache's win and by the
+        #: microbench overhead guard).
+        self.force_regroup = False
+        self._cached_states: List[CoflowState] = []
+        self._cached_coflow_ids = np.empty(0, dtype=np.int64)
+        self._cached_perm = np.empty(0, dtype=np.intp)
+        self._cached_starts = np.zeros(1, dtype=np.intp)
+        self._cached_static: Dict[str, np.ndarray] = {}
         self._cap_events: List = []
         self._coflows: Dict[int, _CoflowRecord] = {}
+        # coflow id -> arrival time, for the hot _regroup ranking (a dict
+        # lookup beats chasing record attributes per coflow per decision).
+        self._coflow_arrival: Dict[int, float] = {}
         self._calendar = ArrivalCalendar()
         self._claim_nodes: List[int] = []  # nodes with a core claimed last window
 
@@ -240,7 +261,12 @@ class SliceSimulator:
     @property
     def pending(self) -> bool:
         """Whether any submitted work is still unfinished."""
-        return bool(self._active) or len(self._calendar) > 0
+        return self._active.size > 0 or len(self._calendar) > 0
+
+    @property
+    def active_flows(self) -> int:
+        """Number of currently active flows (the hot-path working-set size)."""
+        return int(self._active.size)
 
     def on_coflow_complete(self, fn: Callable[[CoflowResult], None]) -> None:
         """Register a completion callback (used by the cluster simulator)."""
@@ -290,6 +316,7 @@ class SliceSimulator:
         )
         idx = np.arange(g0, self._n, dtype=np.intp)
         self._coflows[coflow.coflow_id] = _CoflowRecord(coflow, idx)
+        self._coflow_arrival[coflow.coflow_id] = coflow.arrival
         self._calendar.push(coflow)
 
     def submit_many(self, coflows: Sequence[Coflow]) -> None:
@@ -330,7 +357,8 @@ class SliceSimulator:
                 if self._finish_phys[g] == 0.0:
                     self._finish_phys[g] = now
                 cancelled += 1
-        self._active = [g for g in self._active if self._coflow_of[g] != coflow_id]
+        self._active = self._active[self._coflow_of[self._active] != coflow_id]
+        self._groups_dirty = True
         rec.remaining = 0
         self._cancelled.add(int(coflow_id))
         tr = self.obs.tracer
@@ -391,7 +419,7 @@ class SliceSimulator:
         self._started = True
         while True:
             # Jump over empty time if nothing is active.
-            if not self._active:
+            if self._active.size == 0:
                 nxt = self._next_arrival()
                 if nxt is None:
                     break
@@ -407,7 +435,7 @@ class SliceSimulator:
                 trigger.kinds.add(EventKind.ARRIVAL)
             if self._apply_due_capacity_changes():
                 trigger.kinds.add(EventKind.CAPACITY)
-            if not self._active:
+            if self._active.size == 0:
                 continue  # activation may still be empty (arrival just past `until`)
 
             # The previous window is over: its compression cores are free
@@ -511,7 +539,8 @@ class SliceSimulator:
             rec = self._coflows[coflow.coflow_id]
             self._state[rec.global_idx] = _ACTIVE
             self._start[rec.global_idx] = self.now
-            self._active.extend(int(g) for g in rec.global_idx)
+            self._active = np.concatenate((self._active, rec.global_idx))
+            self._groups_dirty = True
             if tr.enabled:
                 tr.emit(
                     self.now,
@@ -523,38 +552,79 @@ class SliceSimulator:
             self.obs.metrics.counter("engine.arrivals").inc(len(due))
         return due
 
-    def _build_view(self, trigger: ScheduleTrigger) -> SchedulerView:
-        idx = np.asarray(self._active, dtype=np.intp)
+    def _regroup(self) -> None:
+        """Recompute the coflow segmentation of the active set.
+
+        Invariant: the grouping (states list, per-state ``flow_idx``
+        positions, ``coflow_ids`` column, unit permutation/offsets and
+        every gather of per-flow *constants*) depends only on
+        ``_active``, which changes exclusively on arrivals, completions
+        and cancellations — exactly the sites that set
+        ``_groups_dirty``.  Decision points triggered by anything else
+        (raw exhaustion, capacity changes, horizon) reuse the cache.
+        """
+        idx = self._active
         coflow_ids = self._coflow_of[idx]
+        # Rank distinct coflows by (arrival, coflow_id) — the order the
+        # old per-decision dict grouping produced after its sort.
+        uids, inv = np.unique(coflow_ids, return_inverse=True)
+        arr_of = self._coflow_arrival
+        arrivals = np.asarray([arr_of[c] for c in uids.tolist()])
+        by_arrival = np.lexsort((uids, arrivals))
+        rank = np.empty(len(uids), dtype=np.intp)
+        rank[by_arrival] = np.arange(len(uids), dtype=np.intp)
+        unit_of_pos = rank[inv]
+        # Stable sort keeps positions ascending within each coflow,
+        # matching the old scan order.
+        perm = np.argsort(unit_of_pos, kind="stable").astype(np.intp, copy=False)
+        counts = np.bincount(unit_of_pos, minlength=len(uids))
+        starts = np.concatenate(([0], np.cumsum(counts))).astype(np.intp)
         states: List[CoflowState] = []
-        # Group active positions by coflow, preserving coflow arrival order.
-        seen: Dict[int, List[int]] = {}
-        for pos, cid in enumerate(coflow_ids):
-            seen.setdefault(int(cid), []).append(pos)
-        for cid, positions in seen.items():
-            rec = self._coflows[cid]
-            rec.state.flow_idx = np.asarray(positions, dtype=np.intp)
+        for k, u in enumerate(by_arrival):
+            rec = self._coflows[int(uids[u])]
+            rec.state.flow_idx = perm[starts[k] : starts[k + 1]]
             states.append(rec.state)
-        states.sort(key=lambda s: (s.coflow.arrival, s.coflow_id))
+        self._cached_states = states
+        self._cached_coflow_ids = coflow_ids
+        self._cached_perm = perm
+        self._cached_starts = starts
+        self._cached_static = {
+            "flow_ids": self._flow_id[idx],
+            "src": self._src[idx],
+            "dst": self._dst[idx],
+            "xi": self._xi[idx],
+            "size": self._size[idx],
+            "arrival": self._arrival[idx],
+            "compressible": self._compressible[idx],
+        }
+        self._groups_dirty = False
+
+    def _build_view(self, trigger: ScheduleTrigger) -> SchedulerView:
+        if self._groups_dirty or self.force_regroup:
+            self._regroup()
+        idx = self._active
+        static = self._cached_static
         free = self.cpu.free_cores(self.now)
         return SchedulerView(
             time=self.now,
             slice_len=self.slice_len,
             trigger=trigger,
             fabric=self.fabric,
-            flow_ids=self._flow_id[idx],
-            src=self._src[idx],
-            dst=self._dst[idx],
+            flow_ids=static["flow_ids"],
+            src=static["src"],
+            dst=static["dst"],
             raw=self._raw[idx].copy(),
             comp=self._comp[idx].copy(),
-            xi=self._xi[idx],
-            size=self._size[idx],
-            arrival=self._arrival[idx],
-            coflow_ids=coflow_ids,
-            compressible=self._compressible[idx],
-            coflows=states,
+            xi=static["xi"],
+            size=static["size"],
+            arrival=static["arrival"],
+            coflow_ids=self._cached_coflow_ids,
+            compressible=static["compressible"],
+            coflows=self._cached_states,
             free_cores=free,
             compression=self.compression,
+            unit_perm=self._cached_perm,
+            unit_starts=self._cached_starts,
         )
 
     def _validate(self, view: SchedulerView, alloc: Allocation) -> None:
@@ -661,7 +731,7 @@ class SliceSimulator:
         return n, kinds
 
     def _integrate(self, view: SchedulerView, alloc: Allocation, dt: float) -> None:
-        idx = np.asarray(self._active, dtype=np.intp)
+        idx = self._active
         rates = alloc.rates
         # --- compression: raw -> comp, shrunk by xi --------------------------
         cz = alloc.compress
@@ -703,15 +773,16 @@ class SliceSimulator:
     def _retire_finished(self, boundary: float) -> List[int]:
         """Mark flows with zero volume done; close coflows; fire callbacks."""
         finished_coflows: List[int] = []
-        idx = np.asarray(self._active, dtype=np.intp)
+        idx = self._active
         if len(idx) == 0:
             return finished_coflows
         vol = self._raw[idx] + self._comp[idx]
         done_mask = vol <= self._eps(idx)
         done_idx = idx[done_mask]
-        self._active = idx[~done_mask].tolist()
         if len(done_idx) == 0:
             return finished_coflows
+        self._active = idx[~done_mask]
+        self._groups_dirty = True
         self._state[done_idx] = _DONE
         self._finish[done_idx] = boundary
         unset = self._finish_phys[done_idx] == 0.0

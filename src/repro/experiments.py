@@ -140,6 +140,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
            "2000 flows / 64 ports primitives; 200-coflow end-to-end run",
            ("repro.core",),
            "bench_engine_microbench.py"),
+        _E("hotpath", "Decision-point hot-path scaling grid",
+           "flows x coflows x ports grid vs the pinned scalar reference; "
+           "appends to BENCH_hotpath.json and asserts the 3x speedup floor",
+           ("repro.analysis.perfbench", "repro.core.reference"),
+           "bench_hotpath_scale.py"),
     ]
 }
 

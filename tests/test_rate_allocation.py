@@ -131,3 +131,26 @@ class TestCoflowGamma:
         src, dst = np.array([0]), np.array([0])
         gamma = ra.coflow_gamma(np.array([1.0]), src, dst, np.array([0.0]), caps(1))
         assert gamma == float("inf")
+
+
+class TestMaxminExemptFlows:
+    def test_exempt_flow_survives_saturated_constraint_zero(self):
+        """A flow with group -1 in an extra dimension must not freeze
+        when that dimension's constraint 0 saturates.
+
+        Exempt lanes are clipped to index 0 purely to keep the fancy
+        index in bounds (np.clip(groups, 0, None)); the member mask must
+        discard them before the saturation gather, otherwise a saturated
+        constraint 0 freezes every exempt flow alongside its real
+        members.
+        """
+        src = np.array([0, 1])
+        dst = np.array([0, 1])
+        extra = [(np.array([-1, 0]), np.array([0.5]))]
+        rates = ra.maxmin_fair(
+            src, dst, caps(2, 10.0), caps(2, 10.0), extra=extra
+        )
+        # Flow 1 saturates the extra constraint at 0.5 and freezes; flow 0
+        # is exempt from it and keeps filling to its port limit.
+        assert rates[1] == pytest.approx(0.5)
+        assert rates[0] == pytest.approx(10.0)
