@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-hotpath reproduce examples clean
+.PHONY: install test lint bench bench-hotpath bench-sweep reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,13 @@ bench:
 bench-hotpath:
 	python -m repro bench --check
 
+# Time the fig6e-shaped sweep grid sequentially vs the 4-worker process
+# pool vs the warm result cache, append to BENCH_sweep.json, and fail if
+# the runner's suite-level speedup drops below 2.5x or the parallel
+# results stop being bit-identical to sequential.
+bench-sweep:
+	python -m repro sweep --bench --check
+
 reproduce:
 	python -m repro reproduce
 
@@ -31,5 +38,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
 clean:
-	rm -rf benchmarks/reports src/repro.egg-info .pytest_cache
+	rm -rf benchmarks/reports src/repro.egg-info .pytest_cache .repro-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

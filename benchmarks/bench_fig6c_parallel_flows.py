@@ -6,23 +6,41 @@ outperforms SRTF, FIFO and FAIR.
 
 import pytest
 
-from repro.analysis import ExperimentSetup, render_table, run_many
+from repro.analysis import ExperimentSetup, render_table
+from repro.runner import RunSpec, WorkloadSpec, run_specs
+from repro.traces.generator import WorkloadConfig
 from repro.units import mbps
-from workloads import parallel_batch
+from workloads import TRACE_SIZES
 
 POLICIES = ["srtf", "fifo", "fair", "fvdf-flow"]
 COUNTS = [30, 100, 300]
 SETUP = ExperimentSetup(num_ports=12, bandwidth=mbps(200), slice_len=0.01)
 
 
+def _batch_spec(n):
+    # workloads.parallel_batch(seed=n, num_flows=n), as a picklable spec
+    # regenerated inside the worker instead of shipping the trace.
+    cfg = WorkloadConfig(
+        num_coflows=n, num_ports=12, size_dist=TRACE_SIZES, width=1,
+        arrival_rate=None,
+    )
+    return WorkloadSpec.generated(cfg, seed=n, flow_level=True)
+
+
 def run_all():
+    # The (batch size × policy) grid in one fan-out through the runner.
+    specs = [
+        RunSpec(policy=p, workload=_batch_spec(n), setup=SETUP, key=f"{n}/{p}")
+        for n in COUNTS
+        for p in POLICIES
+    ]
+    by_key = {out.key: out.summary for out in run_specs(specs)}
     table = {}
     for n in COUNTS:
-        workload = parallel_batch(seed=n, num_flows=n)
-        results = run_many(POLICIES, workload, SETUP)
-        ours = results["fvdf-flow"].avg_fct
+        ours = by_key[f"{n}/fvdf-flow"].avg_fct
         table[n] = {
-            base: results[base].avg_fct / ours for base in ["srtf", "fifo", "fair"]
+            base: by_key[f"{n}/{base}"].avg_fct / ours
+            for base in ["srtf", "fifo", "fair"]
         }
     return table
 

@@ -9,8 +9,9 @@ does not improve at all over FIFO/FAIR.
 import numpy as np
 import pytest
 
-from repro.analysis import ExperimentSetup, render_table, run_many
-from repro.core.metrics import cdf_at, fct_values
+from repro.analysis import ExperimentSetup, render_table
+from repro.core.metrics import cdf_at
+from repro.runner import RunSpec, WorkloadSpec, run_specs
 from repro.units import mbps
 from workloads import flow_trace
 
@@ -19,9 +20,14 @@ SETUP = ExperimentSetup(num_ports=12, bandwidth=mbps(200), slice_len=0.01)
 
 
 def run_all():
-    workload = flow_trace(seed=6)
-    results = run_many(POLICIES, workload, SETUP)
-    fcts = {name: fct_values(res) for name, res in results.items()}
+    # Per-flow FCT arrays ride back in the summaries (arrays=True), so the
+    # CDF is computed without shipping full SimulationResults.
+    workload = WorkloadSpec.inline(flow_trace(seed=6))
+    specs = [
+        RunSpec(policy=p, workload=workload, setup=SETUP, key=p, arrays=True)
+        for p in POLICIES
+    ]
+    fcts = {out.key: np.asarray(out.summary.fct) for out in run_specs(specs)}
     points = np.quantile(fcts["fvdf-flow"], [0.25, 0.5, 0.75, 0.9, 1.0])
     cdf = {name: cdf_at(v, points) for name, v in fcts.items()}
     all_done = {name: float(v.max()) for name, v in fcts.items()}

@@ -6,7 +6,8 @@ Paper: despite differing speed/ratio, FVDF exceeds SEBF with every codec
 
 import pytest
 
-from repro.analysis import ExperimentSetup, render_table, run_many
+from repro.analysis import ExperimentSetup, render_table
+from repro.runner import RunSpec, WorkloadSpec, run_specs
 from repro.units import mbps
 from workloads import coflow_trace
 
@@ -14,18 +15,28 @@ CODECS = ["lz4", "snappy", "lzf", "lzo", "zstd"]
 
 
 def run_all():
-    workload = coflow_trace(seed=14)
-    table = {}
-    for codec in CODECS:
-        setup = ExperimentSetup(
-            num_ports=16, bandwidth=mbps(100), slice_len=0.01, codec=codec
+    # One (codec × policy) fan-out through the sweep runner (see fig6e).
+    workload = WorkloadSpec.inline(coflow_trace(seed=14))
+    specs = [
+        RunSpec(
+            policy=p, workload=workload, key=f"{codec}/{p}",
+            setup=ExperimentSetup(
+                num_ports=16, bandwidth=mbps(100), slice_len=0.01, codec=codec
+            ),
         )
-        results = run_many(["sebf", "fvdf"], workload, setup)
-        table[codec] = {
-            "speedup": results["sebf"].avg_cct / results["fvdf"].avg_cct,
-            "traffic_reduction": results["fvdf"].traffic_reduction,
+        for codec in CODECS
+        for p in ["sebf", "fvdf"]
+    ]
+    by_key = {out.key: out.summary for out in run_specs(specs)}
+    return {
+        codec: {
+            "speedup": (
+                by_key[f"{codec}/sebf"].avg_cct / by_key[f"{codec}/fvdf"].avg_cct
+            ),
+            "traffic_reduction": by_key[f"{codec}/fvdf"].traffic_reduction,
         }
-    return table
+        for codec in CODECS
+    }
 
 
 def test_fig6f_codecs(once, report):

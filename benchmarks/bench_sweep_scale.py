@@ -1,0 +1,67 @@
+"""Sweep-runner scaling benchmark — the tracked ``BENCH_sweep.json`` grid.
+
+Times the fig6e-shaped (policy × bandwidth × seed) sweep grid from
+:mod:`repro.analysis.sweepbench` three ways — sequential in-process,
+parallel over the 4-worker process pool with a cold result cache, and
+again over the warm cache — appends the timings to ``BENCH_sweep.json``
+at the repo root, and asserts the suite-level speedup floor plus exact
+(bit-identical) agreement between all three paths.
+
+Run directly (appends an entry and prints the summary)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scale.py [--label tag]
+
+or via the CLI wrapper / make target::
+
+    python -m repro sweep --bench --check
+    make bench-sweep
+
+Under pytest the grid is marked ``slow``.  On hosts with fewer than 4
+usable cores the pool cannot beat sequential on CPU-bound work, so the
+tracked figure falls back to the warm-cache re-run (see the module
+docstring of :mod:`repro.analysis.sweepbench`); the bit-identity
+assertion holds everywhere.
+"""
+
+import argparse
+import json
+import sys
+
+import pytest
+
+from repro.analysis import sweepbench
+
+
+@pytest.mark.slow
+def test_sweep_runner_speedup_grid():
+    """Runner ≥ MIN_SPEEDUP× the sequential loop; results bit-identical."""
+    entry = sweepbench.bench_entry(label="pytest-guard")
+    sweepbench.check_entry(entry)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=sweepbench.BENCH_WORKERS)
+    parser.add_argument("--label", default="")
+    parser.add_argument(
+        "--out", default=None,
+        help="trajectory file (default: BENCH_sweep.json at repo root)",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="record the entry without asserting the speedup floor",
+    )
+    args = parser.parse_args(argv)
+
+    entry = sweepbench.bench_entry(workers=args.workers, label=args.label)
+    path = args.out or sweepbench.default_sweep_path()
+    sweepbench.append_entry(path, entry)
+    print(json.dumps(entry, indent=2))
+    print(f"appended to {path}")
+    if not args.no_check:
+        sweepbench.check_entry(entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

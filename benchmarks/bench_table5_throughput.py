@@ -14,8 +14,9 @@ average) is the reproduced claim.
 import numpy as np
 import pytest
 
-from repro.analysis import ExperimentSetup, render_table, run_many
+from repro.analysis import ExperimentSetup, render_table
 from repro.core.metrics import completion_rates, throughput_windows
+from repro.runner import RunSpec, WorkloadSpec, run_specs
 from repro.traces.distributions import LogNormalSizes
 from repro.traces.generator import WorkloadConfig, generate_workload
 from repro.units import KB, MB, mbps
@@ -41,11 +42,16 @@ def jobs_workload():
 
 
 def run_all():
-    workload = jobs_workload()
-    results = run_many(POLICIES, workload, SETUP)
+    # Job completion instants come back as the coflow_finish array of the
+    # summaries (arrays=True) — no full results cross the runner boundary.
+    workload = WorkloadSpec.inline(jobs_workload())
+    specs = [
+        RunSpec(policy=p, workload=workload, setup=SETUP, key=p, arrays=True)
+        for p in POLICIES
+    ]
     table = {}
-    for name, res in results.items():
-        comps = [c.finish for c in res.coflow_results]
+    for out in run_specs(specs):
+        name, comps = out.key, list(out.summary.coflow_finish)
         table[name] = {
             "cumulative": throughput_windows(comps, WINDOW, NUM_WINDOWS),
             "rates": completion_rates(comps, WINDOW, NUM_WINDOWS),

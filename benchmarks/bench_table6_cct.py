@@ -9,7 +9,8 @@ reproducible claim.
 import numpy as np
 import pytest
 
-from repro.analysis import ExperimentSetup, render_table, run_many
+from repro.analysis import ExperimentSetup, render_table
+from repro.runner import RunSpec, WorkloadSpec, run_specs
 from repro.units import mbps
 from workloads import coflow_trace
 
@@ -32,11 +33,16 @@ def run_all():
     from repro.core.bounds import avg_cct_lower_bound
     from repro.fabric.bigswitch import BigSwitch
 
-    workload = coflow_trace(seed=14)
+    coflows = coflow_trace(seed=14)
+    workload = WorkloadSpec.inline(coflows)
     policies = [p for _, members in GROUPS for p in members]
-    results = run_many(policies, workload, SETUP)
+    specs = [
+        RunSpec(policy=p, workload=workload, setup=SETUP, key=p)
+        for p in policies
+    ]
+    results = {out.key: out.summary for out in run_specs(specs)}
     bound = avg_cct_lower_bound(
-        workload, BigSwitch(SETUP.num_ports, SETUP.bandwidth)
+        coflows, BigSwitch(SETUP.num_ports, SETUP.bandwidth)
     )
     table = {}
     for label, members in GROUPS:

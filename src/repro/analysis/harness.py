@@ -73,9 +73,14 @@ def run_policy(
     setup: Optional[ExperimentSetup] = None,
     obs=None,
 ) -> SimulationResult:
-    """Run one policy over a workload and return the result."""
+    """Run one policy over a workload and return the result.
+
+    Live :class:`Scheduler` instances are ``fresh()``-ed first, so a
+    scheduler that carries cross-run state (FVDF's served-window map,
+    EDF's admission sets) cannot leak it between runs.
+    """
     setup = setup or ExperimentSetup()
-    scheduler = make_scheduler(policy) if isinstance(policy, str) else policy
+    scheduler = make_scheduler(policy) if isinstance(policy, str) else policy.fresh()
     sim = setup.build_simulator(scheduler, obs=obs)
     sim.submit_many(list(coflows))
     return sim.run()
@@ -85,13 +90,49 @@ def run_many(
     policies: Sequence[Union[str, Scheduler]],
     coflows: Sequence[Coflow],
     setup: Optional[ExperimentSetup] = None,
+    parallel: Union[None, int, str] = None,
+    cache=None,
 ) -> Dict[str, SimulationResult]:
-    """Run several policies over the *same* workload (paired comparison)."""
+    """Run several policies over the *same* workload (paired comparison).
+
+    ``parallel`` selects the execution path: ``None`` defers to the
+    ``REPRO_PARALLEL`` env var (unset → sequential), ``"auto"`` uses one
+    worker per core, an integer ≥ 1 fans the policies out over that many
+    pool workers via :mod:`repro.runner` — with results bit-identical to
+    the sequential loop.  ``cache`` is forwarded to the runner's
+    content-addressed result cache (None → env-controlled default).
+    """
+    from repro.runner import resolve_workers
+
+    workers = resolve_workers(parallel)
+    if workers > 0:
+        return _run_many_pooled(policies, coflows, setup, workers, cache)
     out: Dict[str, SimulationResult] = {}
     for p in policies:
         scheduler = make_scheduler(p) if isinstance(p, str) else p
         out[scheduler.name] = run_policy(scheduler, coflows, setup)
     return out
+
+
+def _run_many_pooled(
+    policies, coflows, setup, workers: int, cache
+) -> Dict[str, SimulationResult]:
+    """The pool path of :func:`run_many` (full results, spec order kept)."""
+    from repro.runner import RunSpec, WorkloadSpec, run_specs
+
+    setup = setup or ExperimentSetup()
+    workload = WorkloadSpec.inline(coflows)
+    specs = []
+    for p in policies:
+        # The display key must match the sequential path's dict keys, and
+        # a cache hit cannot ask the worker for it — resolve names here.
+        name = make_scheduler(p).name if isinstance(p, str) else p.name
+        specs.append(
+            RunSpec(policy=p, workload=workload, setup=setup, key=name,
+                    full=True)
+        )
+    outs = run_specs(specs, workers=workers, cache=cache)
+    return {out.key: out.result for out in outs}
 
 
 def speedups_over(

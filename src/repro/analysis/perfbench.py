@@ -189,17 +189,23 @@ def bench_entry(repeats: int = 3, label: str = "", grid=None) -> Dict:
     }
 
 
-def append_entry(path, entry: Dict) -> Dict:
-    """Append ``entry`` to the trajectory file at ``path`` (creating it)."""
+def append_entry(path, entry: Dict, schema: str = SCHEMA) -> Dict:
+    """Append ``entry`` to the trajectory file at ``path`` (creating it).
+
+    Shared by every tracked trajectory (``BENCH_hotpath.json`` with the
+    default schema, ``BENCH_sweep.json`` via
+    :mod:`repro.analysis.sweepbench`); the schema tag guards against
+    appending entries of one grid into the other's file.
+    """
     path = Path(path)
     if path.exists():
         doc = json.loads(path.read_text())
-        if doc.get("schema") != SCHEMA:
+        if doc.get("schema") != schema:
             raise ValueError(
-                f"{path} has schema {doc.get('schema')!r}, expected {SCHEMA!r}"
+                f"{path} has schema {doc.get('schema')!r}, expected {schema!r}"
             )
     else:
-        doc = {"schema": SCHEMA, "entries": []}
+        doc = {"schema": schema, "entries": []}
     doc["entries"].append(entry)
     path.write_text(json.dumps(doc, indent=2) + "\n")
     return doc

@@ -1,0 +1,247 @@
+"""Sweep-scaling benchmark and the ``BENCH_sweep.json`` trajectory.
+
+PR 2 made a single run ~4x faster; after that the full-suite wall clock
+is dominated by the *fan-out* — dozens of (policy × bandwidth × seed)
+cells executed strictly sequentially.  This module times a fixed
+fig6e-shaped sweep grid through :mod:`repro.runner` three ways and
+appends the results to ``BENCH_sweep.json`` at the repo root:
+
+* **sequential** — the plain in-process loop (cache disabled): the
+  baseline every other mode must reproduce bit-identically;
+* **parallel cold** — the process pool at ``workers`` workers, writing a
+  fresh result cache as it goes;
+* **parallel warm** — the same grid again over the now-populated cache:
+  every cell is a content-addressed hit.
+
+The tracked figure (``speedup.ratio``) is the suite-level wall-clock
+gain of the runner over the sequential loop, floor-asserted at
+:data:`MIN_SPEEDUP`.  Its ``mode`` records *which* mechanism delivered
+it: on hosts with ≥ ``workers`` usable cores the cold pool run must beat
+the floor by parallelism alone (``mode="pool"``); on smaller hosts —
+single-core CI boxes cannot extract parallel speedup from CPU-bound
+work, no matter the worker count — the demonstrated figure is the warm
+re-run (``mode="cache"``), which is exactly the "unchanged benchmark
+cells are near-instant" property the cache exists for.  Both ratios are
+always recorded, so a multi-core reader of the trajectory can compare
+either across entries.
+
+Every mode's summaries are compared exactly (``ResultSummary.__eq__`` is
+bitwise on floats and arrays); an entry with ``identical: false`` means
+the pool or cache broke determinism and :func:`check_entry` fails it
+regardless of speed.
+"""
+
+from __future__ import annotations
+
+import platform
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.harness import ExperimentSetup
+from repro.analysis.perfbench import append_entry as _append_entry
+from repro.runner import ResultCache, RunSpec, WorkloadSpec, run_specs, usable_cores
+from repro.traces.distributions import LogNormalSizes
+from repro.traces.generator import WorkloadConfig
+from repro.units import KB, MB, gbps, mbps
+
+#: Schema tag of ``BENCH_sweep.json`` (bump on breaking layout changes).
+SCHEMA = "repro-bench-sweep-v1"
+
+#: Minimum acceptable suite-level speedup of the runner at BENCH_WORKERS.
+MIN_SPEEDUP = 2.5
+
+#: Worker count of the tracked figure.
+BENCH_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A (policy × bandwidth × seed) grid of seeded synthetic workloads.
+
+    The default mirrors the Fig. 6(e) evaluation shape (coflow traces,
+    16 ports, bandwidth sweep) widened to three seeds so the grid is
+    large enough for fan-out to matter.
+    """
+
+    policies: Tuple[str, ...] = (
+        "sebf", "scf", "ncf", "lcf", "pff", "pfp", "fvdf",
+    )
+    bandwidths: Tuple[float, ...] = (mbps(100), gbps(1), gbps(10))
+    seeds: Tuple[int, ...] = (14, 15, 16, 17)
+    num_coflows: int = 80
+    num_ports: int = 16
+    max_width: int = 8
+    arrival_rate: float = 2.0
+    slice_len: float = 0.01
+
+    @property
+    def cells(self) -> int:
+        return len(self.policies) * len(self.bandwidths) * len(self.seeds)
+
+    def workload_config(self) -> WorkloadConfig:
+        return WorkloadConfig(
+            num_coflows=self.num_coflows,
+            num_ports=self.num_ports,
+            size_dist=LogNormalSizes(
+                median=8 * MB, sigma=1.3, lo=64 * KB, hi=256 * MB
+            ),
+            width=(1, self.max_width),
+            arrival_rate=self.arrival_rate,
+        )
+
+    def specs(self) -> List[RunSpec]:
+        """One cacheable RunSpec per grid cell, in deterministic order.
+
+        Workloads are *generated* specs (config + seed): each worker
+        rebuilds its trace with ``np.random.default_rng(seed)``, so only
+        a few hundred bytes cross the pipe per cell.
+        """
+        cfg = self.workload_config()
+        out: List[RunSpec] = []
+        for seed in self.seeds:
+            workload = WorkloadSpec.generated(cfg, seed)
+            for bw in self.bandwidths:
+                setup = ExperimentSetup(
+                    num_ports=self.num_ports, bandwidth=bw,
+                    slice_len=self.slice_len,
+                )
+                for policy in self.policies:
+                    out.append(
+                        RunSpec(
+                            policy=policy, workload=workload, setup=setup,
+                            key=f"s{seed}/bw{bw:g}/{policy}",
+                        )
+                    )
+        return out
+
+    def describe(self) -> Dict:
+        return {
+            "policies": list(self.policies),
+            "bandwidths": [float(b) for b in self.bandwidths],
+            "seeds": list(self.seeds),
+            "num_coflows": self.num_coflows,
+            "num_ports": self.num_ports,
+            "max_width": self.max_width,
+            "arrival_rate": self.arrival_rate,
+            "slice_len": self.slice_len,
+        }
+
+
+#: The tracked grid (84 cells at defaults — big enough that per-cell pool
+#: overhead amortises and a 4-worker multi-core run clears the floor with
+#: margin).
+GRID = SweepGrid()
+
+#: Tiny grid for the CI smoke run (`python -m repro sweep --smoke`).
+SMOKE_GRID = SweepGrid(
+    policies=("sebf", "fvdf"),
+    bandwidths=(mbps(100), gbps(1)),
+    seeds=(0,),
+    num_coflows=10,
+)
+
+
+def _timed_run(specs, workers, cache) -> Tuple[list, float]:
+    t0 = time.perf_counter()
+    outs = run_specs(specs, workers=workers, cache=cache)
+    return outs, time.perf_counter() - t0
+
+
+def _summaries_identical(a, b) -> bool:
+    return len(a) == len(b) and all(
+        x.key == y.key and x.summary == y.summary for x, y in zip(a, b)
+    )
+
+
+def bench_entry(
+    grid: Optional[SweepGrid] = None,
+    workers: int = BENCH_WORKERS,
+    label: str = "",
+) -> Dict:
+    """Time the grid sequentially / pooled-cold / pooled-warm; one entry.
+
+    The warm pass runs against a throwaway cache directory populated by
+    the cold pass, so the entry is self-contained and never touches (or
+    is polluted by) the user's ``.repro-cache/``.
+    """
+    grid = grid or GRID
+    specs = grid.specs()
+    cache_dir = tempfile.mkdtemp(prefix="repro-sweepbench-")
+    try:
+        seq_outs, seq_s = _timed_run(specs, workers=0, cache=False)
+        cold_cache = ResultCache(root=cache_dir, enabled=True)
+        cold_outs, cold_s = _timed_run(specs, workers=workers, cache=cold_cache)
+        warm_cache = ResultCache(root=cache_dir, enabled=True)
+        warm_outs, warm_s = _timed_run(specs, workers=workers, cache=warm_cache)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    identical = _summaries_identical(seq_outs, cold_outs) and \
+        _summaries_identical(seq_outs, warm_outs)
+    cores = usable_cores()
+    pool_speedup = round(seq_s / cold_s, 2) if cold_s > 0 else None
+    cache_speedup = round(seq_s / warm_s, 2) if warm_s > 0 else None
+    mode = "pool" if cores >= workers else "cache"
+    ratio = pool_speedup if mode == "pool" else cache_speedup
+    return {
+        "label": label or "sweep-grid",
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cores": cores,
+        "workers": workers,
+        "cells": len(specs),
+        "grid": grid.describe(),
+        "sequential_s": round(seq_s, 6),
+        "parallel_cold_s": round(cold_s, 6),
+        "parallel_warm_s": round(warm_s, 6),
+        "pool_speedup": pool_speedup,
+        "cache_speedup": cache_speedup,
+        "cache_hits_warm": warm_cache.hits,
+        "identical": identical,
+        "speedup": {
+            "mode": mode,
+            "ratio": ratio,
+            "floor": MIN_SPEEDUP,
+            "reference": "sequential in-process loop over the same specs",
+        },
+    }
+
+
+def check_entry(entry: Dict) -> None:
+    """Raise AssertionError unless the entry meets the tracked floors."""
+    assert entry["identical"], (
+        "parallel/cached sweep results are not bit-identical to the "
+        "sequential path"
+    )
+    sp = entry["speedup"]
+    assert sp["ratio"] is not None and sp["ratio"] >= MIN_SPEEDUP, (
+        f"sweep speedup regressed: {sp['ratio']}x < {MIN_SPEEDUP}x "
+        f"(mode={sp['mode']}, workers={entry['workers']}, "
+        f"cores={entry['cores']}, seq={entry['sequential_s']:.2f}s, "
+        f"cold={entry['parallel_cold_s']:.2f}s, "
+        f"warm={entry['parallel_warm_s']:.2f}s)"
+    )
+    # The warm-cache path must clear the floor on any host; on multi-core
+    # hosts the cold pool must clear it too (that is the mode asserted
+    # above), so both mechanisms stay independently healthy.
+    assert entry["cache_speedup"] >= MIN_SPEEDUP, (
+        f"warm-cache sweep re-run below floor: "
+        f"{entry['cache_speedup']}x < {MIN_SPEEDUP}x"
+    )
+
+
+def append_entry(path, entry: Dict) -> Dict:
+    """Append ``entry`` to the sweep trajectory at ``path``."""
+    return _append_entry(path, entry, schema=SCHEMA)
+
+
+def default_sweep_path() -> Path:
+    """``BENCH_sweep.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "BENCH_sweep.json"

@@ -21,6 +21,11 @@ Subcommands
 ``bench``
     Run the hot-path scaling grid and append an entry to the
     ``BENCH_hotpath.json`` perf trajectory at the repo root.
+``sweep``
+    Run a (policy × bandwidth × seed) experiment grid through the
+    parallel runner (:mod:`repro.runner`) with the content-addressed
+    result cache; ``--smoke`` is the CI equivalence check and
+    ``--bench`` the tracked ``BENCH_sweep.json`` scaling grid.
 
 Examples::
 
@@ -32,6 +37,9 @@ Examples::
     python -m repro trace fig4 --policy fvdf --out fig4.jsonl
     python -m repro trace synthetic --coflows 50 --profile
     python -m repro bench --check
+    python -m repro sweep --workers 4
+    python -m repro sweep --smoke
+    python -m repro sweep --bench --check
 """
 
 from __future__ import annotations
@@ -312,6 +320,143 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _floats_csv(parse):
+    def _parse(text: str):
+        return [parse(t) for t in text.split(",") if t.strip()]
+    return _parse
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (policy × bandwidth × seed) grid through the parallel runner."""
+    from repro.analysis import sweepbench
+    from repro.runner import ResultCache, resolve_workers, run_specs
+
+    if args.bench:
+        return _sweep_bench(args)
+
+    if args.smoke:
+        return _sweep_smoke(args)
+
+    defaults = sweepbench.GRID
+    grid = sweepbench.SweepGrid(
+        policies=tuple(args.policies),
+        bandwidths=tuple(args.bandwidths) if args.bandwidths else defaults.bandwidths,
+        seeds=tuple(args.seeds) if args.seeds else defaults.seeds,
+        num_coflows=args.coflows,
+        num_ports=args.ports,
+        max_width=args.max_width,
+        arrival_rate=args.rate,
+        slice_len=args.slice,
+    )
+    # An explicit --workers wins; otherwise REPRO_PARALLEL; otherwise this
+    # command (unlike the library default) goes wide — it exists to fan out.
+    if args.workers is not None:
+        workers = resolve_workers(args.workers)
+    else:
+        workers = resolve_workers(None) or resolve_workers("auto")
+    cache = ResultCache(
+        root=args.cache_dir, enabled=False if args.no_cache else None
+    )
+    specs = grid.specs()
+    import time as _time
+
+    t0 = _time.perf_counter()
+    outs = run_specs(specs, workers=workers, cache=cache)
+    wall = _time.perf_counter() - t0
+    rows = [
+        [
+            out.key,
+            seconds_to_human(out.summary.avg_cct),
+            seconds_to_human(out.summary.makespan),
+            f"{out.summary.traffic_reduction * 100:.1f}%",
+            "hit" if out.cached else f"{out.wall_s:.2f}s",
+        ]
+        for out in outs
+    ]
+    print(render_table(
+        ["cell", "avg CCT", "makespan", "traffic saved", "run"],
+        rows,
+        title=f"sweep grid — {grid.cells} cells, {workers} workers",
+    ))
+    stats = cache.stats()
+    print(
+        f"\nwall {wall:.2f}s | workers {workers} | cache "
+        f"{'on' if stats['enabled'] else 'off'} "
+        f"({stats['hits']} hits, {stats['misses']} misses, {stats['root']})"
+    )
+    return 0
+
+
+def _sweep_smoke(args: argparse.Namespace) -> int:
+    """Tiny pool-vs-sequential equivalence run for CI (`sweep --smoke`)."""
+    import tempfile
+
+    from repro.analysis import sweepbench
+    from repro.runner import ResultCache, run_specs
+
+    workers = 2 if args.workers is None else int(args.workers)
+    specs = sweepbench.SMOKE_GRID.specs()
+    seq = run_specs(specs, workers=0, cache=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(root=tmp, enabled=True)
+        par = run_specs(specs, workers=workers, cache=cache)
+        warm = run_specs(specs, workers=workers, cache=cache)
+    ok_par = all(
+        a.key == b.key and a.summary == b.summary for a, b in zip(seq, par)
+    )
+    ok_warm = all(
+        a.key == b.key and a.summary == b.summary for a, b in zip(seq, warm)
+    ) and all(o.cached for o in warm)
+    print(
+        f"sweep smoke: {len(specs)} cells, {workers} workers | "
+        f"pool identical: {ok_par} | cache identical+hit: {ok_warm}"
+    )
+    if not (ok_par and ok_warm):
+        print("error: smoke equivalence failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _sweep_bench(args: argparse.Namespace) -> int:
+    """`sweep --bench`: the tracked BENCH_sweep.json scaling grid."""
+    from repro.analysis import sweepbench
+
+    workers = (
+        sweepbench.BENCH_WORKERS if args.workers is None else int(args.workers)
+    )
+    entry = sweepbench.bench_entry(workers=workers, label=args.label)
+    rows = [
+        ["sequential", f"{entry['sequential_s']:.2f}s", "1.00x"],
+        ["parallel (cold cache)", f"{entry['parallel_cold_s']:.2f}s",
+         f"{entry['pool_speedup']:.2f}x"],
+        ["parallel (warm cache)", f"{entry['parallel_warm_s']:.2f}s",
+         f"{entry['cache_speedup']:.2f}x"],
+    ]
+    print(render_table(
+        ["path", "wall", "speedup"],
+        rows,
+        title=f"sweep scaling — {entry['cells']} cells, "
+              f"{entry['workers']} workers on {entry['cores']} core(s)",
+    ))
+    sp = entry["speedup"]
+    print(
+        f"\nbit-identical: {entry['identical']} | tracked figure: "
+        f"{sp['ratio']:.2f}x (mode={sp['mode']}, floor {sp['floor']:.1f}x)"
+    )
+    out = Path(args.out) if args.out else sweepbench.default_sweep_path()
+    if not args.dry_run:
+        sweepbench.append_entry(out, entry)
+        print(f"trajectory appended -> {out}")
+    if args.check:
+        try:
+            sweepbench.check_entry(entry)
+        except AssertionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"sweep check passed (>= {sweepbench.MIN_SPEEDUP:.1f}x)")
+    return 0
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterConfig, ClusterSimulator, hibench_suite
 
@@ -424,6 +569,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless the large-grid speedup is "
                         ">= 3x over the pinned reference")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a (policy x bandwidth x seed) grid through the parallel "
+             "runner with the content-addressed result cache",
+    )
+    p.add_argument("--policies", type=_policies,
+                   default=["sebf", "scf", "ncf", "lcf", "pff", "pfp", "fvdf"])
+    p.add_argument("--bandwidths", type=_floats_csv(parse_bandwidth),
+                   default=None,
+                   help="comma list, e.g. 100mbps,1gbps,10gbps (the default)")
+    p.add_argument("--seeds", type=_floats_csv(int), default=None,
+                   help="comma list of workload seeds (default 14,15,16)")
+    p.add_argument("--coflows", type=int, default=60)
+    p.add_argument("--ports", type=int, default=16)
+    p.add_argument("--max-width", type=int, default=8)
+    p.add_argument("--rate", type=float, default=2.0)
+    p.add_argument("--slice", type=float, default=0.01)
+    p.add_argument("--workers", default=None,
+                   help="pool size (int or 'auto'; default: REPRO_PARALLEL "
+                        "or 'auto', --smoke defaults to 2, --bench to 4)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the .repro-cache result cache entirely")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny pool-vs-sequential equivalence run (CI)")
+    p.add_argument("--bench", action="store_true",
+                   help="run the tracked sweep-scaling grid and append an "
+                        "entry to BENCH_sweep.json")
+    p.add_argument("--check", action="store_true",
+                   help="with --bench: exit non-zero unless the suite-level "
+                        "speedup clears the 2.5x floor")
+    p.add_argument("--label", default="",
+                   help="with --bench: entry label recorded in the trajectory")
+    p.add_argument("--out", default=None,
+                   help="with --bench: trajectory path (default: "
+                        "BENCH_sweep.json at the repo root)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="with --bench: print without touching the trajectory")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("cluster", help="HiBench cluster run with/without Swallow")
     p.add_argument("--scale", default="large", choices=["large", "huge", "gigantic"])

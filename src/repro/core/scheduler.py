@@ -177,7 +177,26 @@ class Scheduler(ABC):
         self.obs = obs
 
     def reset(self) -> None:
-        """Clear any cross-run state (default: stateless)."""
+        """Clear any cross-run state (default: stateless).
+
+        Stateful policies (FVDF's served-window map, EDF's admission
+        sets, …) must override this to drop everything that could leak
+        from one run into the next.
+        """
+
+    def fresh(self) -> "Scheduler":
+        """This scheduler, guaranteed ready for a new run.
+
+        The harness contract: every simulation run starts from a clean
+        scheduler.  ``run_policy``/``run_many`` call ``fresh()`` on any
+        live instance they are handed, so back-to-back runs of the same
+        object are identical to runs of newly constructed ones (see
+        ``tests/test_scheduler_fresh.py``).  The default resets in place
+        and returns ``self``; subclasses whose state cannot be reset in
+        place may return a new instance instead.
+        """
+        self.reset()
+        return self
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -88,6 +88,13 @@ class SimulationResult:
         return float(np.mean([c.cct for c in self.coflow_results]))
 
     @property
+    def max_cct(self) -> float:
+        """Tail CCT: the slowest coflow's completion time."""
+        if not self.coflow_results:
+            return 0.0
+        return float(max(c.cct for c in self.coflow_results))
+
+    @property
     def total_bytes_sent(self) -> float:
         return float(sum(f.bytes_sent for f in self.flow_results))
 

@@ -145,6 +145,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
            "appends to BENCH_hotpath.json and asserts the 3x speedup floor",
            ("repro.analysis.perfbench", "repro.core.reference"),
            "bench_hotpath_scale.py"),
+        _E("sweep", "Parallel sweep-runner scaling grid",
+           "fig6e-shaped policy x bandwidth x seed grid: sequential vs "
+           "4-worker pool vs warm result cache; appends to BENCH_sweep.json "
+           "and asserts the 2.5x suite-level floor + bit-identity",
+           ("repro.runner", "repro.analysis.sweepbench"),
+           "bench_sweep_scale.py"),
     ]
 }
 

@@ -1,0 +1,186 @@
+"""Process-pool fan-out of :class:`~repro.runner.spec.RunSpec` grids.
+
+Execution model
+---------------
+:func:`run_specs` is the single entry point.  For every spec it first
+consults the :class:`~repro.runner.cache.ResultCache` (in the parent —
+lookups are cheap, and keeping the cache single-writer makes it race-free);
+the remaining cold cells are executed either inline (``workers=0``, the
+sequential path) or on a ``ProcessPoolExecutor``.  Workers rebuild the
+workload from the spec (inline coflows unpickle; generated/callable specs
+re-run their seeded generator, so large traces never cross the pipe),
+construct a **fresh** scheduler, run the simulation, and send back a
+compact :class:`~repro.runner.spec.ResultSummary` — or the full
+:class:`~repro.core.simulator.SimulationResult` when the spec asks for it.
+
+Determinism: the engine is deterministic given a workload, workloads are
+regenerated from per-spec seeds with ``np.random.default_rng``, and
+worker processes run the same interpreter + numpy as the parent, so
+pooled results are **bit-identical** to the sequential path at any worker
+count (asserted by ``tests/test_runner_equivalence.py``).
+
+``REPRO_PARALLEL`` (env) supplies the default worker count for the
+``parallel=None`` paths in :func:`repro.analysis.harness.run_many` /
+:func:`repro.analysis.seeds.run_seeds`; ``auto`` means one worker per
+usable core.  Inside a pool worker the variable is forced to ``0`` so
+nested calls never spawn pools-within-pools.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.spec import ResultSummary, RunSpec
+
+ENV_PARALLEL = "REPRO_PARALLEL"
+_ENV_IN_WORKER = "REPRO_IN_WORKER"
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def resolve_workers(parallel: Union[None, int, str] = None) -> int:
+    """Worker count for a ``parallel=`` argument.
+
+    ``None`` defers to ``REPRO_PARALLEL`` (unset/empty → 0, i.e. the
+    plain sequential path); ``"auto"`` → one worker per usable core;
+    otherwise the integer itself (0 → sequential).  Always 0 inside a
+    pool worker.
+    """
+    if os.environ.get(_ENV_IN_WORKER):
+        return 0
+    if parallel is None:
+        parallel = os.environ.get(ENV_PARALLEL, "").strip() or 0
+    if isinstance(parallel, str):
+        if parallel.strip().lower() == "auto":
+            return usable_cores()
+        try:
+            parallel = int(parallel)
+        except ValueError:
+            raise ConfigurationError(
+                f"cannot parse worker count {parallel!r} "
+                f"(expected an integer or 'auto')"
+            ) from None
+    return max(0, int(parallel))
+
+
+@dataclass
+class RunOutcome:
+    """One executed (or cache-served) spec."""
+
+    key: str
+    summary: Optional[ResultSummary] = None
+    #: populated for ``full=True`` specs (a SimulationResult).
+    result: Optional[object] = None
+    cached: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def payload(self):
+        return self.result if self.result is not None else self.summary
+
+
+def _mark_worker() -> None:
+    """Pool initializer: forbid nested pools inside workers."""
+    os.environ[_ENV_IN_WORKER] = "1"
+
+
+def execute_spec(spec: RunSpec) -> RunOutcome:
+    """Run one spec to completion in the current process."""
+    from repro.analysis.harness import run_policy
+
+    coflows = spec.workload.build()
+    scheduler = spec.build_scheduler()
+    t0 = time.perf_counter()
+    result = run_policy(scheduler, coflows, spec.setup)
+    wall = time.perf_counter() - t0
+    key = spec.key or scheduler.name
+    if spec.full:
+        return RunOutcome(key=key, result=result, wall_s=wall)
+    summary = ResultSummary.from_result(
+        scheduler.name, result, arrays=spec.arrays
+    )
+    return RunOutcome(key=key, summary=summary, wall_s=wall)
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    workers: Union[None, int, str] = None,
+    cache=None,
+) -> List[RunOutcome]:
+    """Execute a grid of specs; results come back in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The grid cells.
+    workers:
+        Pool size (see :func:`resolve_workers`); 0 runs inline,
+        sequentially, in this process — the reference path the pool must
+        reproduce bit-identically.
+    cache:
+        ``None`` (env-controlled default), ``True``/``False``, a cache
+        directory, or a :class:`ResultCache`.
+    """
+    specs = list(specs)
+    n_workers = resolve_workers(workers)
+    store = ResultCache.resolve(cache)
+
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    cold: List[int] = []
+    for i, spec in enumerate(specs):
+        payload = store.get(spec)
+        if payload is None:
+            cold.append(i)
+        elif spec.full:
+            outcomes[i] = RunOutcome(
+                key=spec.key or str(spec.policy),
+                result=payload, cached=True,
+            )
+        else:
+            outcomes[i] = RunOutcome(
+                key=spec.key or payload.policy, summary=payload, cached=True,
+            )
+
+    if n_workers <= 0 or len(cold) <= 1:
+        for i in cold:
+            out = execute_spec(specs[i])
+            store.put(specs[i], out.payload)
+            outcomes[i] = out
+        return outcomes  # type: ignore[return-value]
+
+    # Bounded-queue submission: at most ~2 pending tasks per worker, so a
+    # multi-thousand-cell sweep never materialises all spec pickles at once.
+    with ProcessPoolExecutor(
+        max_workers=n_workers, initializer=_mark_worker
+    ) as pool:
+        pending = {}
+        queue = iter(cold)
+        exhausted = False
+        while pending or not exhausted:
+            while not exhausted and len(pending) < 2 * n_workers:
+                i = next(queue, None)
+                if i is None:
+                    exhausted = True
+                    break
+                pending[pool.submit(execute_spec, specs[i])] = i
+            if not pending:
+                break
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i = pending.pop(fut)
+                out = fut.result()  # re-raises worker exceptions
+                store.put(specs[i], out.payload)
+                outcomes[i] = out
+    return outcomes  # type: ignore[return-value]

@@ -69,15 +69,31 @@ def scheduler_names() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a scheduling policy by registry name."""
+def make_scheduler(name: str, **params) -> Scheduler:
+    """Instantiate a scheduling policy by registry name.
+
+    Keyword ``params`` are forwarded to the policy's constructor — e.g.
+    ``make_scheduler("sebf", rate_policy="madd")`` or
+    ``make_scheduler("edf-deadline", admission=False)`` — which is how
+    parameterised policies travel inside picklable
+    :class:`~repro.runner.spec.RunSpec` cells.  Registry aliases that are
+    already fully parameterised (``sebf-madd``, ``fvdf-flow``, …) accept
+    no further params.
+    """
     try:
         factory = _FACTORIES[name.lower()]
     except KeyError:
         raise ConfigurationError(
             f"unknown scheduler {name!r}; available: {scheduler_names()}"
         ) from None
-    return factory()
+    if not params:
+        return factory()
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"scheduler {name!r} rejected params {sorted(params)}: {exc}"
+        ) from None
 
 
 __all__ = [

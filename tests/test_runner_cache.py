@@ -1,0 +1,182 @@
+"""Unit tests for the content-addressed result cache and its digests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentSetup, run_policy
+from repro.core.fvdf import FVDFScheduler
+from repro.runner import (
+    ResultCache,
+    ResultSummary,
+    RunSpec,
+    WorkloadSpec,
+    cache_enabled_by_env,
+    execute_spec,
+    run_specs,
+)
+from repro.traces.distributions import ConstantSize
+from repro.traces.generator import WorkloadConfig, generate_workload
+from repro.units import mbps
+
+SETUP = ExperimentSetup(num_ports=4, bandwidth=mbps(100), slice_len=0.01)
+
+
+def _config(num_coflows=6):
+    return WorkloadConfig(
+        num_coflows=num_coflows, num_ports=4, size_dist=ConstantSize(1e6),
+        width=(1, 3), arrival_rate=4.0,
+    )
+
+
+def _coflows(seed=3):
+    return generate_workload(_config(), np.random.default_rng(seed))
+
+
+def _spec(**kw):
+    kw.setdefault("policy", "fvdf")
+    kw.setdefault("workload", WorkloadSpec.generated(_config(), seed=3))
+    kw.setdefault("setup", SETUP)
+    return RunSpec(**kw)
+
+
+class TestDigest:
+    def test_stable_across_equal_specs(self):
+        assert _spec().digest() == _spec().digest()
+        assert _spec().digest() is not None
+
+    def test_inline_digest_ignores_global_id_counters(self):
+        """flow_id/coflow_id come from process-global counters; two
+        identically generated traces digest the same even though their
+        ids differ."""
+        a = WorkloadSpec.inline(_coflows())
+        b = WorkloadSpec.inline(_coflows())
+        ids = lambda cs: [c.coflow_id for c in cs]  # noqa: E731
+        assert ids(a.build()) != ids(b.build())
+        assert _spec(workload=a).digest() == _spec(workload=b).digest()
+
+    @pytest.mark.parametrize("change", ["policy", "params", "workload", "setup"])
+    def test_any_content_change_changes_digest(self, change):
+        base = _spec()
+        changed = {
+            "policy": lambda: _spec(policy="sebf"),
+            "params": lambda: _spec(params={"starvation_window": 5}),
+            "workload": lambda: _spec(
+                workload=WorkloadSpec.generated(_config(), seed=4)
+            ),
+            "setup": lambda: _spec(
+                setup=ExperimentSetup(num_ports=4, bandwidth=mbps(200),
+                                      slice_len=0.01)
+            ),
+        }[change]()
+        assert base.digest() != changed.digest()
+
+    def test_full_and_arrays_change_digest(self):
+        # A summary, a summary-with-arrays and a full result are three
+        # different payloads; they must not collide in the store.
+        digests = {
+            _spec().digest(),
+            _spec(arrays=True).digest(),
+            _spec(full=True).digest(),
+        }
+        assert len(digests) == 3
+
+    def test_live_scheduler_is_uncacheable(self):
+        assert _spec(policy=FVDFScheduler()).digest() is None
+
+    def test_callable_workload_needs_tag(self):
+        def factory(rng):
+            return generate_workload(_config(), rng)
+
+        untagged = _spec(workload=WorkloadSpec.from_callable(factory, seed=3))
+        tagged = _spec(
+            workload=WorkloadSpec.from_callable(factory, seed=3, tag="const6")
+        )
+        assert untagged.digest() is None
+        assert tagged.digest() is not None
+
+    def test_background_setup_is_uncacheable(self):
+        setup = ExperimentSetup(
+            num_ports=4, bandwidth=mbps(100), slice_len=0.01,
+            background=lambda t: 0.1,
+        )
+        assert _spec(setup=setup).digest() is None
+
+
+class TestEnvControls:
+    def test_repro_cache_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not cache_enabled_by_env()
+        assert not ResultCache().enabled
+        # resolve(True) still honours the kill switch.
+        assert not ResultCache.resolve(True).enabled
+
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_enabled_by_env()
+
+    def test_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        assert ResultCache().root == tmp_path / "store"
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "store", enabled=False)
+        spec = _spec()
+        assert cache.get(spec) is None
+        assert not cache.put(spec, execute_spec(spec).summary)
+        assert not (tmp_path / "store").exists()
+
+
+class TestRoundtrip:
+    def test_summary_json_roundtrip(self):
+        summary = execute_spec(_spec(arrays=True)).summary
+        assert isinstance(summary, ResultSummary)
+        again = ResultSummary.from_json(summary.to_json())
+        assert again == summary  # exact, including the per-flow arrays
+
+    def test_summary_store_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = _spec()
+        summary = execute_spec(spec).summary
+        assert cache.put(spec, summary)
+        assert cache.get(spec) == summary
+
+    def test_full_result_store_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = _spec(full=True)
+        result = run_policy("fvdf", spec.workload.build(), SETUP)
+        assert cache.put(spec, result)
+        cached = cache.get(spec)
+        assert [f.fct for f in cached.flow_results] == [
+            f.fct for f in result.flow_results
+        ]
+        assert cached.makespan == result.makespan
+
+    def test_uncacheable_spec_still_runs(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = _spec(policy=FVDFScheduler(), key="live")
+        [out] = run_specs([spec], workers=0, cache=cache)
+        assert out.summary.avg_cct > 0
+        assert not cache.put(spec, out.summary)
+        assert list(tmp_path.iterdir()) == []  # nothing was stored
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = _spec()
+        summary = execute_spec(spec).summary
+        cache.put(spec, summary)
+        path = cache._path(spec.digest(), spec.full)
+        path.write_text("{not json")
+        assert cache.get(spec) is None
+        assert not path.exists()  # corrupt file dropped
+        # A subsequent put/get works again.
+        cache.put(spec, summary)
+        assert cache.get(spec) == summary
+
+    def test_hit_miss_counters(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        specs = [_spec(), _spec(policy="sebf")]
+        run_specs(specs, workers=0, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+        run_specs(specs, workers=0, cache=cache)
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert cache.stats()["hits"] == 2

@@ -56,3 +56,66 @@ class TestRunSeeds:
         stats = SeedStats("m", {"b": np.array([1.0]), "a": np.array([2.0])})
         rows = stats.summary_rows()
         assert [r[0] for r in rows] == ["a", "b"]
+
+
+class TestRunSeedsParallel:
+    """The (seed × policy) grid through the process pool.
+
+    ``factory`` above is module-level, so it pickles into the workers and
+    is re-invoked there per seed (the workload itself never crosses the
+    process boundary).
+    """
+
+    def test_pool_samples_equal_sequential(self):
+        seq = run_seeds(["fifo", "sebf", "fvdf"], factory, SETUP,
+                        seeds=range(3))
+        par = run_seeds(["fifo", "sebf", "fvdf"], factory, SETUP,
+                        seeds=range(3), parallel=2, cache=False)
+        assert set(par.samples) == set(seq.samples)
+        for name in seq.samples:
+            # Exact equality: in-worker regeneration must be bit-identical.
+            assert par.samples[name].tolist() == seq.samples[name].tolist()
+
+    def test_pool_stats_match_sequential(self):
+        seq = run_seeds(["sebf", "fvdf"], factory, SETUP, seeds=range(4))
+        par = run_seeds(["sebf", "fvdf"], factory, SETUP, seeds=range(4),
+                        parallel=2, cache=False)
+        assert par.mean("fvdf") == seq.mean("fvdf")
+        assert par.std("fvdf") == seq.std("fvdf")
+        assert par.win_rate("fvdf", "sebf") == seq.win_rate("fvdf", "sebf")
+        assert par.speedup_mean("sebf", "fvdf") == seq.speedup_mean(
+            "sebf", "fvdf"
+        )
+
+    def test_pool_non_summary_metric_falls_back_to_full_results(self):
+        # max_cct is not in SUMMARY_METRICS, so the pool ships full
+        # SimulationResults back instead of compact summaries.
+        seq = run_seeds(["fifo", "sebf"], factory, SETUP, seeds=range(2),
+                        metric="max_cct")
+        par = run_seeds(["fifo", "sebf"], factory, SETUP, seeds=range(2),
+                        metric="max_cct", parallel=2, cache=False)
+        for name in seq.samples:
+            assert par.samples[name].tolist() == seq.samples[name].tolist()
+
+    def test_pool_with_tagged_factory_caches(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(root=tmp_path, enabled=True)
+        kw = dict(seeds=range(2), parallel=2, cache=cache,
+                  workload_tag="seeds-const8")
+        cold = run_seeds(["fifo", "sebf"], factory, SETUP, **kw)
+        assert cache.misses == 4 and cache.hits == 0
+        warm = run_seeds(["fifo", "sebf"], factory, SETUP, **kw)
+        assert cache.hits == 4
+        for name in cold.samples:
+            assert warm.samples[name].tolist() == cold.samples[name].tolist()
+
+    def test_untagged_factory_runs_uncached(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(root=tmp_path, enabled=True)
+        stats = run_seeds(["fifo"], factory, SETUP, seeds=range(2),
+                          parallel=2, cache=cache)
+        assert len(stats.samples["fifo"]) == 2
+        assert cache.hits == 0 and cache.misses == 0  # digest() is None
+        assert list(tmp_path.iterdir()) == []
