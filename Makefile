@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-hotpath bench-sweep reproduce examples clean
+.PHONY: install test lint bench bench-hotpath bench-sweep bench-bigtrace reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,6 +30,13 @@ bench-hotpath:
 # results stop being bit-identical to sequential.
 bench-sweep:
 	python -m repro sweep --bench --check
+
+# Replay the synthetic FB-like trace (130k+ flows, 32k coflows) end to
+# end through the columnar engine and the pinned pre-columnar baseline,
+# append to BENCH_bigtrace.json, and fail unless the results stay
+# bit-identical and the end-to-end speedup clears 3x.
+bench-bigtrace:
+	python -m repro bench --bigtrace --check
 
 reproduce:
 	python -m repro reproduce

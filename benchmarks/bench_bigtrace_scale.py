@@ -1,0 +1,75 @@
+"""Trace-scale ingest/retire benchmark — the tracked ``BENCH_bigtrace.json``.
+
+Replays a synthetic Facebook-like trace (≥100k flows across ≥5k coflows,
+:mod:`repro.analysis.bigbench`) end to end — ``submit_many`` → ``run`` →
+headline metrics — through the current columnar engine and the pinned
+pre-columnar baseline (:class:`repro.core.reference.
+PreColumnarSliceSimulator`), appends the timings to the
+``BENCH_bigtrace.json`` trajectory at the repo root, and asserts the
+≥3x end-to-end speedup floor plus bit-identical results.
+
+Run directly (appends an entry and prints the summary)::
+
+    PYTHONPATH=src python benchmarks/bench_bigtrace_scale.py [--label tag]
+
+or via the CLI wrapper / make target::
+
+    python -m repro bench --bigtrace --check
+    make bench-bigtrace
+
+``--smoke`` replays a seconds-scale slice of the same shape (used by CI):
+it still verifies the two result paths are identical but skips the
+speedup floor, which only means anything at full scale.
+"""
+
+import argparse
+import json
+import sys
+
+import pytest
+
+from repro.analysis import bigbench
+
+
+@pytest.mark.slow
+def test_bigtrace_speedup():
+    """Columnar engine is ≥ MIN_SPEEDUP× the pre-columnar baseline."""
+    entry = bigbench.bench_entry(repeats=2, label="pytest-guard")
+    bigbench.check_entry(entry)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--label", default="")
+    parser.add_argument(
+        "--out", default=None,
+        help="trajectory file (default: BENCH_bigtrace.json at repo root)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale CI case: verify identity, skip the speedup "
+             "floor, do not append to the trajectory file",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="record the entry without asserting the speedup floor",
+    )
+    args = parser.parse_args(argv)
+
+    case = bigbench.SMOKE_CASE if args.smoke else bigbench.CASE
+    entry = bigbench.bench_entry(
+        repeats=args.repeats, label=args.label, case=case
+    )
+    print(json.dumps(entry, indent=2))
+    if not args.smoke:
+        path = args.out or bigbench.default_bigbench_path()
+        bigbench.append_entry(path, entry, schema=bigbench.SCHEMA)
+        print(f"appended to {path}")
+    if not args.no_check:
+        bigbench.check_entry(entry, smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

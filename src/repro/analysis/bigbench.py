@@ -1,0 +1,265 @@
+"""Trace-scale end-to-end benchmark and the ``BENCH_bigtrace.json`` trajectory.
+
+Where :mod:`repro.analysis.perfbench` times the per-decision hot path,
+this module times the per-*event* paths — bulk ingest, batched
+retirement, lazy result materialization and columnar metrics — by
+replaying a synthetic Facebook-like trace (:func:`repro.traces.facebook.
+synthesize`, ≥100k flows across ≥5k coflows) end to end: ``submit_many``
+→ ``run`` → headline metrics.  In this regime the scheduler work per
+decision is modest and wall clock is dominated by exactly the O(total
+flows) Python loops the columnar pipeline removed.
+
+Two timings anchor each entry:
+
+* **after** — the current engine (columnar ingest/retire, lazy
+  ``ResultStore``-backed results);
+* **before** — the pinned pre-columnar baseline
+  (:class:`~repro.core.reference.PreColumnarSliceSimulator`: scalar
+  per-flow ``submit`` with per-flow codec-ratio calls, per-flow eager
+  ``FlowResult`` retirement, dict-chasing ``_regroup``, copying views),
+  re-measured on the same machine and trace so the ratio is
+  apples-to-apples regardless of host speed.
+
+Every entry also records ``identical``: the two arms' flow/coflow
+result columns and headline metrics compared bit-for-bit — the speedup
+is only meaningful if the columnar path is an exact behavioural match.
+
+``python -m repro bench --bigtrace`` and
+``benchmarks/bench_bigtrace_scale.py`` are thin wrappers around
+:func:`bench_entry`; entries append to ``BENCH_bigtrace.json`` at the
+repo root via :func:`repro.analysis.perfbench.append_entry`.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.analysis.harness import ExperimentSetup
+from repro.analysis.perfbench import append_entry  # noqa: F401  (re-export)
+from repro.units import gbps
+
+#: Schema tag stored in the JSON file (bump on breaking layout changes).
+SCHEMA = "repro-bench-bigtrace-v1"
+
+#: Minimum acceptable columnar-vs-pre-columnar end-to-end speedup.
+MIN_SPEEDUP = 3.0
+
+
+@dataclass(frozen=True)
+class TraceCase:
+    """One replayed-trace configuration."""
+
+    name: str
+    num_coflows: int
+    num_ports: int
+    arrival_rate: float
+    mean_reducer_mb: float
+    bandwidth: float = gbps(4)
+    slice_len: float = 0.2
+    policy: str = "fvdf-flow"
+    seed: int = 23
+
+
+#: The tracked case: ≥100k flows across ≥5k coflows (the ISSUE floor) on
+#: the paper's own flow-granularity FVDF policy with compression enabled.
+#: Arrivals are spread so the active set stays small and decisions number
+#: in the hundreds — wall clock is then dominated by ingest (the
+#: pre-columnar path pays a scalar codec-ratio call per flow), per-flow
+#: retirement and result materialization, i.e. the columnar pipeline's
+#: target, not by scheduler math shared between both arms.
+CASE = TraceCase(
+    "fb-synth-130k",
+    num_coflows=32000,
+    num_ports=8,
+    arrival_rate=800.0,
+    mean_reducer_mb=0.02,
+)
+
+#: Seconds-scale case for CI smoke runs (same shape, 1/16 the coflows).
+SMOKE_CASE = TraceCase(
+    "fb-synth-smoke",
+    num_coflows=2000,
+    num_ports=8,
+    arrival_rate=800.0,
+    mean_reducer_mb=0.02,
+)
+
+
+def synthesize_case(case: TraceCase):
+    """Build the case's trace (outside any timed region)."""
+    from repro.traces.facebook import synthesize
+
+    return synthesize(
+        np.random.default_rng(case.seed),
+        num_coflows=case.num_coflows,
+        num_ports=case.num_ports,
+        arrival_rate=case.arrival_rate,
+        mean_reducer_mb=case.mean_reducer_mb,
+    )
+
+
+def _summarize(result) -> Dict:
+    """Headline metrics, computed through the columnar accessors.
+
+    Part of the timed region: a real replay ends with the paper's
+    numbers, and this is where the lazy path pays (or rather, skips)
+    dataclass materialization.
+    """
+    from repro.core.metrics import fct_by_size_bins
+
+    return {
+        "avg_fct": result.avg_fct,
+        "avg_cct": result.avg_cct,
+        "max_cct": result.max_cct,
+        "makespan": result.makespan,
+        "total_bytes_sent": result.total_bytes_sent,
+        "total_bytes_original": result.total_bytes_original,
+        "traffic_reduction": result.traffic_reduction,
+        "fct_bins": fct_by_size_bins(
+            result.flow_results, [1e4, 1e5, 1e6]
+        ),
+    }
+
+
+def run_arm(case: TraceCase, trace, sim_cls: Optional[Type] = None):
+    """One end-to-end replay: submit → run → summarize, timed.
+
+    Returns ``(wall_seconds, result, summary)``.  ``sim_cls`` defaults to
+    the current engine; pass
+    :class:`~repro.core.reference.PreColumnarSliceSimulator` for the
+    pinned baseline.
+    """
+    from repro.core.simulator import SliceSimulator
+    from repro.schedulers import make_scheduler
+
+    cls = sim_cls or SliceSimulator
+    setup = ExperimentSetup(
+        num_ports=case.num_ports,
+        bandwidth=case.bandwidth,
+        slice_len=case.slice_len,
+    )
+    scheduler = make_scheduler(case.policy)
+    base = setup.build_simulator(scheduler)
+    sim = cls(
+        base.fabric,
+        scheduler,
+        slice_len=setup.slice_len,
+        cpu=base.cpu,
+        compression=base.compression,
+    )
+    t0 = time.perf_counter()
+    sim.submit_many(trace.coflows)
+    result = sim.run()
+    summary = _summarize(result)
+    wall = time.perf_counter() - t0
+    return wall, result, summary
+
+
+def _result_columns(result) -> Dict[str, np.ndarray]:
+    """The comparison columns of one arm, extracted identically per arm."""
+    return {
+        "flow_id": np.asarray([f.flow_id for f in result.flow_results]),
+        "coflow_id": np.asarray([c.coflow_id for c in result.coflow_results]),
+        "fct": result.fct_array,
+        "size": result.size_array,
+        "cct": result.cct_array,
+        "finish": result.finish_array,
+        "bytes_sent": np.asarray(
+            [f.bytes_sent for f in result.flow_results]
+        ),
+    }
+
+
+def identical_results(res_new, res_old, sum_new: Dict, sum_old: Dict) -> bool:
+    """Bit-exact comparison of the two arms' results and metrics."""
+    if sum_new != sum_old:
+        return False
+    cols_new = _result_columns(res_new)
+    cols_old = _result_columns(res_old)
+    return all(
+        np.array_equal(cols_new[k], cols_old[k]) for k in cols_new
+    )
+
+
+def bench_entry(
+    repeats: int = 2, label: str = "", case: Optional[TraceCase] = None
+) -> Dict:
+    """Replay the trace through both arms; return one trajectory entry."""
+    from repro.core.reference import PreColumnarSliceSimulator
+
+    case = case or CASE
+    trace = synthesize_case(case)
+    best_after = best_before = None
+    res_new = sum_new = res_old = sum_old = None
+    for _ in range(max(1, repeats)):
+        wall, res_new, sum_new = run_arm(case, trace)
+        if best_after is None or wall < best_after:
+            best_after = wall
+    for _ in range(max(1, repeats)):
+        wall, res_old, sum_old = run_arm(
+            case, trace, sim_cls=PreColumnarSliceSimulator
+        )
+        if best_before is None or wall < best_before:
+            best_before = wall
+    ident = identical_results(res_new, res_old, sum_new, sum_old)
+    return {
+        "label": label or "bigtrace",
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repeats": repeats,
+        "trace": {
+            "case": case.name,
+            "policy": case.policy,
+            "num_coflows": len(trace.coflows),
+            "num_flows": trace.num_flows,
+            "num_ports": case.num_ports,
+            "total_gb": round(trace.total_bytes / 1e9, 3),
+            "slice_len": case.slice_len,
+            "seed": case.seed,
+        },
+        "decisions": res_new.decision_points,
+        "makespan": res_new.makespan,
+        "identical": ident,
+        "speedup": {
+            "case": case.name,
+            "before_s": round(best_before, 6),
+            "after_s": round(best_after, 6),
+            "ratio": round(best_before / best_after, 2),
+            "reference": "PreColumnarSliceSimulator (scalar per-flow "
+                         "submit/retire, dict-chasing regroup, eager "
+                         "dataclass results)",
+        },
+    }
+
+
+def check_entry(entry: Dict, smoke: bool = False) -> None:
+    """Assert the entry's invariants (speedup floor skipped for smoke).
+
+    ``identical`` must hold at any scale; the ≥MIN_SPEEDUP floor is only
+    meaningful on the full-size case (tiny smoke traces amortize nothing).
+    """
+    assert entry["identical"], (
+        "columnar and pre-columnar results diverged on "
+        f"{entry['trace']['case']!r}"
+    )
+    if smoke:
+        return
+    speedup = entry["speedup"]
+    assert speedup["ratio"] >= MIN_SPEEDUP, (
+        f"bigtrace speedup regressed: {speedup['ratio']:.2f}x < "
+        f"{MIN_SPEEDUP:.1f}x on {speedup['case']!r} "
+        f"(before {speedup['before_s']:.2f}s, after {speedup['after_s']:.2f}s)"
+    )
+
+
+def default_bigbench_path():
+    """``BENCH_bigtrace.json`` at the repository root."""
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[3] / "BENCH_bigtrace.json"

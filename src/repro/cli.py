@@ -20,7 +20,11 @@ Subcommands
     :func:`repro.analysis.read_trace`).
 ``bench``
     Run the hot-path scaling grid and append an entry to the
-    ``BENCH_hotpath.json`` perf trajectory at the repo root.
+    ``BENCH_hotpath.json`` perf trajectory at the repo root;
+    ``--bigtrace`` instead replays a synthetic FB-like trace (130k+
+    flows) end to end against the pinned pre-columnar engine and
+    appends to ``BENCH_bigtrace.json`` (``--smoke`` is the seconds-scale
+    CI identity check).
 ``sweep``
     Run a (policy × bandwidth × seed) experiment grid through the
     parallel runner (:mod:`repro.runner`) with the content-addressed
@@ -37,6 +41,8 @@ Examples::
     python -m repro trace fig4 --policy fvdf --out fig4.jsonl
     python -m repro trace synthetic --coflows 50 --profile
     python -m repro bench --check
+    python -m repro bench --bigtrace --check
+    python -m repro bench --bigtrace --smoke
     python -m repro sweep --workers 4
     python -m repro sweep --smoke
     python -m repro sweep --bench --check
@@ -280,6 +286,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Run the hot-path scaling grid, append to the perf trajectory."""
     from repro.analysis import perfbench
 
+    if args.bigtrace or args.smoke:
+        return _bench_bigtrace(args)
+
     entry = perfbench.bench_entry(repeats=args.repeats, label=args.label)
     rows = [
         [
@@ -317,6 +326,48 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
             return 1
         print(f"speedup check passed (>= {perfbench.MIN_SPEEDUP:.1f}x)")
+    return 0
+
+
+def _bench_bigtrace(args: argparse.Namespace) -> int:
+    """`bench --bigtrace`: the trace-scale BENCH_bigtrace.json replay."""
+    from repro.analysis import bigbench
+
+    case = bigbench.SMOKE_CASE if args.smoke else bigbench.CASE
+    entry = bigbench.bench_entry(
+        repeats=args.repeats, label=args.label, case=case
+    )
+    tr, sp = entry["trace"], entry["speedup"]
+    rows = [
+        [tr["case"],
+         f"{tr['num_coflows']}cf/{tr['num_flows']}fl/{tr['num_ports']}p",
+         tr["policy"],
+         f"{sp['before_s']:.3f}s",
+         f"{sp['after_s']:.3f}s",
+         f"{sp['ratio']:.2f}x"],
+    ]
+    print(render_table(
+        ["case", "trace", "policy", "pre-columnar", "columnar", "speedup"],
+        rows,
+        title="Trace-scale end-to-end replay (submit_many -> run -> metrics)",
+    ))
+    print(
+        f"\nbit-identical: {entry['identical']} | decisions: "
+        f"{entry['decisions']} | makespan: {entry['makespan']:.1f}s"
+    )
+    if not args.smoke:
+        out = Path(args.out) if args.out else bigbench.default_bigbench_path()
+        if not args.dry_run:
+            bigbench.append_entry(out, entry, schema=bigbench.SCHEMA)
+            print(f"trajectory appended -> {out}")
+    if args.check or args.smoke:
+        try:
+            bigbench.check_entry(entry, smoke=args.smoke)
+        except AssertionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        floor = "identity" if args.smoke else f">= {bigbench.MIN_SPEEDUP:.1f}x"
+        print(f"bigtrace check passed ({floor})")
     return 0
 
 
@@ -568,6 +619,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="exit non-zero unless the large-grid speedup is "
                         ">= 3x over the pinned reference")
+    p.add_argument("--bigtrace", action="store_true",
+                   help="run the trace-scale ingest/retire replay instead "
+                        "and append to BENCH_bigtrace.json")
+    p.add_argument("--smoke", action="store_true",
+                   help="with --bigtrace: seconds-scale CI case — verify "
+                        "bit-identity, skip the speedup floor, no append")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(

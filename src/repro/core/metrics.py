@@ -16,8 +16,32 @@ import numpy as np
 
 from repro.core.coflow import CoflowResult
 from repro.core.flow import FlowResult
+from repro.core.results import LazyCoflowResults, LazyFlowResults
 from repro.core.simulator import SimulationResult
 from repro.errors import ConfigurationError
+
+
+def _flow_sizes(flows: Sequence[FlowResult]) -> np.ndarray:
+    """Per-flow sizes without materializing a lazy columnar sequence."""
+    if isinstance(flows, LazyFlowResults):
+        return flows.store.size
+    return np.asarray([f.size for f in flows], dtype=np.float64)
+
+
+def _flow_fcts(flows: Sequence[FlowResult]) -> np.ndarray:
+    """Per-flow completion times, columnar when the sequence is lazy."""
+    if isinstance(flows, LazyFlowResults):
+        store = flows.store
+        return store.finish - store.arrival
+    return np.asarray([f.fct for f in flows], dtype=np.float64)
+
+
+def _coflow_ccts(coflows: Sequence[CoflowResult]) -> np.ndarray:
+    """Per-coflow completion times, columnar when the sequence is lazy."""
+    if isinstance(coflows, LazyCoflowResults):
+        store = coflows.store
+        return store.cf_finish - store.cf_arrival
+    return np.asarray([c.cct for c in coflows], dtype=np.float64)
 
 
 # --------------------------------------------------------------------------- CDF
@@ -49,12 +73,15 @@ def speedup(baseline: float, ours: float) -> float:
 
 # ------------------------------------------------------------------- flow level
 def avg_fct(flows: Iterable[FlowResult]) -> float:
-    vals = [f.fct for f in flows]
-    return float(np.mean(vals)) if vals else 0.0
+    if isinstance(flows, LazyFlowResults):
+        vals = _flow_fcts(flows)
+    else:
+        vals = np.asarray([f.fct for f in flows], dtype=np.float64)
+    return float(np.mean(vals)) if vals.size else 0.0
 
 
 def fct_values(result: SimulationResult) -> np.ndarray:
-    return np.asarray([f.fct for f in result.flow_results])
+    return result.fct_array
 
 
 def filter_flows_by_size_percentile(
@@ -69,9 +96,12 @@ def filter_flows_by_size_percentile(
         raise ConfigurationError("keep_fraction must lie in (0, 1]")
     if keep_fraction == 1.0 or not flows:
         return list(flows)
-    sizes = np.asarray([f.size for f in flows])
+    sizes = _flow_sizes(flows)
     cutoff = np.quantile(sizes, 1.0 - keep_fraction)
-    return [f for f in flows if f.size >= cutoff]
+    # Boolean mask instead of a per-flow Python comparison; only the
+    # surviving flows are materialized when ``flows`` is lazy.
+    idx = np.nonzero(sizes >= cutoff)[0]
+    return [flows[int(i)] for i in idx]
 
 
 def fct_by_size_bins(
@@ -80,30 +110,35 @@ def fct_by_size_bins(
     """Average FCT per flow-size bin (Fig. 6(b)).
 
     ``edges`` are interior bin boundaries in bytes; n+1 bins result.
+    Bins are keyed ``"[lo, hi)"`` and listed in order of first
+    occurrence among the flows; empty bins are omitted.
     """
     edges = sorted(edges)
-    out: Dict[str, List[float]] = {}
-    labels = []
-    lo = 0.0
-    for e in list(edges) + [float("inf")]:
-        labels.append((lo, e))
-        lo = e
-    for f in flows:
-        for lo, hi in labels:
-            if lo <= f.size < hi:
-                out.setdefault(f"[{lo:g}, {hi:g})", []).append(f.fct)
-                break
-    return {k: float(np.mean(v)) for k, v in out.items()}
+    bounds = [0.0] + list(edges) + [float("inf")]
+    sizes = _flow_sizes(flows)
+    fcts = _flow_fcts(flows)
+    # digitize assigns each flow its unique [lo, hi) bin — one pass over
+    # the flows replaces the old O(flows x bins) membership scan.
+    bins = np.digitize(sizes, edges)
+    present, first = np.unique(bins, return_index=True)
+    out: Dict[str, float] = {}
+    for b in present[np.argsort(first, kind="stable")]:
+        label = f"[{bounds[b]:g}, {bounds[b + 1]:g})"
+        out[label] = float(np.mean(fcts[bins == b]))
+    return out
 
 
 # ----------------------------------------------------------------- coflow level
 def avg_cct(coflows: Iterable[CoflowResult]) -> float:
-    vals = [c.cct for c in coflows]
-    return float(np.mean(vals)) if vals else 0.0
+    if isinstance(coflows, LazyCoflowResults):
+        vals = _coflow_ccts(coflows)
+    else:
+        vals = np.asarray([c.cct for c in coflows], dtype=np.float64)
+    return float(np.mean(vals)) if vals.size else 0.0
 
 
 def cct_values(result: SimulationResult) -> np.ndarray:
-    return np.asarray([c.cct for c in result.coflow_results])
+    return result.cct_array
 
 
 # -------------------------------------------------------------------- job level

@@ -31,7 +31,22 @@ from repro.fabric.bigswitch import BigSwitch
 from repro.obs import NULL_OBS, Observability
 
 
-@dataclass
+class _SegmentRef:
+    """Shared (perm, starts) segmentation, mutated in place by the engine.
+
+    Every :class:`CoflowState` the engine hands out references the same
+    ``_SegmentRef``; when the active set changes, the engine rebinds
+    ``perm``/``starts`` once and every state's ``flow_idx`` view follows
+    — no per-coflow slice assignment loop.
+    """
+
+    __slots__ = ("perm", "starts")
+
+    def __init__(self, perm: np.ndarray, starts: np.ndarray):
+        self.perm = perm
+        self.starts = starts
+
+
 class CoflowState:
     """Mutable per-coflow scheduling state exposed to schedulers.
 
@@ -41,19 +56,58 @@ class CoflowState:
         The immutable coflow definition.
     flow_idx:
         Indices of this coflow's *unfinished* flows within the view's
-        active-flow arrays (refreshed at every decision point).
+        active-flow arrays (refreshed at every decision point).  Either an
+        explicitly assigned array (legacy engines, tests) or — when the
+        engine bound the state to a shared segmentation — a slice of the
+        engine's unit permutation, so the engine can update every state
+        in O(1) total.
     priority_class:
         The paper's starvation-freedom class ``P`` (Pseudocode 3); owned by
         the scheduler, persisted across decision points by the engine.
     """
 
-    coflow: Coflow
-    flow_idx: np.ndarray
-    priority_class: float = 1.0
+    __slots__ = ("coflow", "priority_class", "_flow_idx", "_seg", "_ordinal")
+
+    def __init__(
+        self,
+        coflow: Coflow,
+        flow_idx: Optional[np.ndarray] = None,
+        priority_class: float = 1.0,
+    ):
+        self.coflow = coflow
+        self.priority_class = priority_class
+        self._flow_idx = flow_idx
+        self._seg: Optional[_SegmentRef] = None
+        self._ordinal = 0
+
+    @property
+    def flow_idx(self) -> np.ndarray:
+        seg = self._seg
+        if seg is not None:
+            k = self._ordinal
+            return seg.perm[seg.starts[k] : seg.starts[k + 1]]
+        return self._flow_idx
+
+    @flow_idx.setter
+    def flow_idx(self, value: np.ndarray) -> None:
+        self._flow_idx = value
+        self._seg = None
+
+    def bind_segments(self, seg: _SegmentRef, ordinal: int) -> None:
+        """Back ``flow_idx`` by segment ``ordinal`` of the shared ref."""
+        self._seg = seg
+        self._ordinal = ordinal
 
     @property
     def coflow_id(self) -> int:
         return self.coflow.coflow_id
+
+    def __repr__(self):
+        return (
+            f"CoflowState(coflow_id={self.coflow_id}, "
+            f"n_flows={len(self.flow_idx) if self.flow_idx is not None else 0}, "
+            f"priority_class={self.priority_class})"
+        )
 
 
 @dataclass

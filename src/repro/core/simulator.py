@@ -29,7 +29,6 @@ from __future__ import annotations
 import heapq
 import math
 import time
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -38,7 +37,14 @@ from repro.compression.engine import CompressionEngine
 from repro.core.coflow import Coflow, CoflowResult
 from repro.core.events import ArrivalCalendar, EventKind, ScheduleTrigger
 from repro.core.flow import FlowResult
-from repro.core.scheduler import Allocation, CoflowState, Scheduler, SchedulerView
+from repro.core.results import LazyCoflowResults, LazyFlowResults, ResultStore
+from repro.core.scheduler import (
+    Allocation,
+    CoflowState,
+    Scheduler,
+    SchedulerView,
+    _SegmentRef,
+)
 from repro.cpu.cores import CpuModel
 from repro.cpu.monitor import UtilizationRecorder
 from repro.errors import ConfigurationError, SchedulingError, SimulationError
@@ -51,17 +57,131 @@ DEFAULT_SLICE = 0.01
 _PENDING, _ACTIVE, _DONE, _CANCELLED = 0, 1, 2, 3
 
 
-@dataclass
 class SimulationResult:
-    """Everything a run produced."""
+    """Everything a run produced.
 
-    flow_results: List[FlowResult]
-    coflow_results: List[CoflowResult]
-    makespan: float
-    decision_points: int
-    cpu_recorder: Optional[UtilizationRecorder] = None
-    ingress_bytes: Optional[np.ndarray] = None
-    egress_bytes: Optional[np.ndarray] = None
+    Two interchangeable backings:
+
+    * **columnar** (the engine's default): a :class:`ResultStore`
+      snapshot; ``flow_results`` / ``coflow_results`` are lazy sequences
+      that materialize dataclasses on demand, and the array accessors
+      (``fct_array`` et al.) read columns directly with zero per-flow
+      Python;
+    * **eager** (legacy engines, hand-built results): plain lists, with
+      the array accessors falling back to one comprehension, computed
+      once and cached.
+
+    Both paths produce bit-identical metrics; the lazy sequences compare
+    equal to plain lists element-wise.
+    """
+
+    def __init__(
+        self,
+        flow_results: Optional[Sequence[FlowResult]] = None,
+        coflow_results: Optional[Sequence[CoflowResult]] = None,
+        makespan: float = 0.0,
+        decision_points: int = 0,
+        cpu_recorder: Optional[UtilizationRecorder] = None,
+        ingress_bytes: Optional[np.ndarray] = None,
+        egress_bytes: Optional[np.ndarray] = None,
+        store: Optional[ResultStore] = None,
+    ):
+        if store is None and (flow_results is None or coflow_results is None):
+            raise ValueError(
+                "SimulationResult needs either a ResultStore or eager "
+                "flow_results + coflow_results lists"
+            )
+        self._eager_flows = flow_results
+        self._eager_coflows = coflow_results
+        self.store = store
+        self.makespan = makespan
+        self.decision_points = decision_points
+        self.cpu_recorder = cpu_recorder
+        self.ingress_bytes = ingress_bytes
+        self.egress_bytes = egress_bytes
+        self._lazy_flows: Optional[LazyFlowResults] = None
+        self._lazy_coflows: Optional[LazyCoflowResults] = None
+        self._fct_array: Optional[np.ndarray] = None
+        self._cct_array: Optional[np.ndarray] = None
+        self._size_array: Optional[np.ndarray] = None
+        self._finish_array: Optional[np.ndarray] = None
+
+    # -------------------------------------------------------- result lists
+    @property
+    def flow_results(self) -> Sequence[FlowResult]:
+        if self._eager_flows is not None:
+            return self._eager_flows
+        if self._lazy_flows is None:
+            self._lazy_flows = LazyFlowResults(self.store)
+        return self._lazy_flows
+
+    @property
+    def coflow_results(self) -> Sequence[CoflowResult]:
+        if self._eager_coflows is not None:
+            return self._eager_coflows
+        if self._lazy_coflows is None:
+            self._lazy_coflows = LazyCoflowResults(
+                self.store, self.flow_results
+            )
+        return self._lazy_coflows
+
+    # ------------------------------------------------------ columnar views
+    @property
+    def fct_array(self) -> np.ndarray:
+        """Per-flow completion times (``finish - arrival``), flow order."""
+        if self._fct_array is None:
+            if self.store is not None and self._eager_flows is None:
+                self._fct_array = self.store.finish - self.store.arrival
+            else:
+                self._fct_array = np.asarray(
+                    [f.fct for f in self.flow_results], dtype=np.float64
+                )
+        return self._fct_array
+
+    @property
+    def size_array(self) -> np.ndarray:
+        """Per-flow original sizes, aligned with :attr:`fct_array`."""
+        if self._size_array is None:
+            if self.store is not None and self._eager_flows is None:
+                self._size_array = self.store.size
+            else:
+                self._size_array = np.asarray(
+                    [f.size for f in self.flow_results], dtype=np.float64
+                )
+        return self._size_array
+
+    @property
+    def cct_array(self) -> np.ndarray:
+        """Per-coflow completion times, coflow close order."""
+        if self._cct_array is None:
+            if self.store is not None and self._eager_coflows is None:
+                self._cct_array = self.store.cf_finish - self.store.cf_arrival
+            else:
+                self._cct_array = np.asarray(
+                    [c.cct for c in self.coflow_results], dtype=np.float64
+                )
+        return self._cct_array
+
+    @property
+    def finish_array(self) -> np.ndarray:
+        """Per-coflow finish instants, aligned with :attr:`cct_array`."""
+        if self._finish_array is None:
+            if self.store is not None and self._eager_coflows is None:
+                self._finish_array = self.store.cf_finish
+            else:
+                self._finish_array = np.asarray(
+                    [c.finish for c in self.coflow_results], dtype=np.float64
+                )
+        return self._finish_array
+
+    def _flow_column(self, name: str) -> np.ndarray:
+        """A per-flow column (store-backed or via one comprehension)."""
+        if self.store is not None and self._eager_flows is None:
+            return getattr(self.store, name)
+        attr = {"finish_phys": "finish_physical"}.get(name, name)
+        return np.asarray(
+            [getattr(f, attr) for f in self.flow_results], dtype=np.float64
+        )
 
     def port_utilization(self, capacity_in, capacity_out):
         """Mean per-port utilization over the makespan (0..1 arrays).
@@ -77,30 +197,33 @@ class SimulationResult:
 
     @property
     def avg_fct(self) -> float:
-        if not self.flow_results:
+        arr = self.fct_array
+        if arr.size == 0:
             return 0.0
-        return float(np.mean([f.fct for f in self.flow_results]))
+        return float(np.mean(arr))
 
     @property
     def avg_cct(self) -> float:
-        if not self.coflow_results:
+        arr = self.cct_array
+        if arr.size == 0:
             return 0.0
-        return float(np.mean([c.cct for c in self.coflow_results]))
+        return float(np.mean(arr))
 
     @property
     def max_cct(self) -> float:
         """Tail CCT: the slowest coflow's completion time."""
-        if not self.coflow_results:
+        arr = self.cct_array
+        if arr.size == 0:
             return 0.0
-        return float(max(c.cct for c in self.coflow_results))
+        return float(arr.max())
 
     @property
     def total_bytes_sent(self) -> float:
-        return float(sum(f.bytes_sent for f in self.flow_results))
+        return float(np.sum(self._flow_column("bytes_sent")))
 
     @property
     def total_bytes_original(self) -> float:
-        return float(sum(f.size for f in self.flow_results))
+        return float(np.sum(self.size_array))
 
     @property
     def traffic_reduction(self) -> float:
@@ -110,15 +233,35 @@ class SimulationResult:
             return 0.0
         return 1.0 - self.total_bytes_sent / orig
 
+    def __repr__(self):
+        return (
+            f"SimulationResult(flows={len(self.flow_results)}, "
+            f"coflows={len(self.coflow_results)}, "
+            f"makespan={self.makespan!r}, "
+            f"decision_points={self.decision_points})"
+        )
+
 
 class _CoflowRecord:
-    """Engine-internal live state of one submitted coflow."""
+    """Engine-internal live state of one submitted coflow.
 
-    __slots__ = ("coflow", "global_idx", "remaining", "state", "finish_phys", "flow_results")
+    The columnar engine keeps the hot per-coflow counters (remaining,
+    finish-phys max, …) in dense slot-indexed arrays on the simulator;
+    ``slot`` is this coflow's index into them.  The ``remaining`` /
+    ``finish_phys`` / ``flow_results`` attributes remain for the pinned
+    pre-columnar engine (:mod:`repro.core.reference`), which still does
+    its bookkeeping per record.
+    """
 
-    def __init__(self, coflow: Coflow, global_idx: np.ndarray):
+    __slots__ = (
+        "coflow", "global_idx", "slot", "remaining", "state", "finish_phys",
+        "flow_results",
+    )
+
+    def __init__(self, coflow: Coflow, global_idx: np.ndarray, slot: int = -1):
         self.coflow = coflow
         self.global_idx = global_idx
+        self.slot = slot
         self.remaining = len(global_idx)
         self.state = CoflowState(coflow=coflow, flow_idx=np.empty(0, dtype=np.intp))
         self.finish_phys = 0.0
@@ -201,6 +344,34 @@ class SliceSimulator:
         self._finish = np.empty(0, dtype=np.float64)
         self._finish_phys = np.empty(0, dtype=np.float64)
         self._state = np.empty(0, dtype=np.int8)
+        #: Owning coflow *slot* (dense per-coflow array index) per flow.
+        self._slot_of = np.empty(0, dtype=np.intp)
+        #: Retirement sequence number per flow (order within the run).
+        self._done_seq = np.empty(0, dtype=np.int64)
+
+        # --- dense per-coflow slot arrays ------------------------------------
+        # One slot per submitted coflow, in submission order.  Retirement
+        # closes coflows with bincount/scatter ops over these instead of
+        # chasing record attributes per flow.
+        self._cf_cap = 0
+        self._n_cf = 0
+        self._cf_id = np.empty(0, dtype=np.int64)
+        self._cf_arrival = np.empty(0, dtype=np.float64)
+        self._cf_remaining = np.empty(0, dtype=np.int64)
+        self._cf_finish = np.empty(0, dtype=np.float64)
+        self._cf_finish_phys = np.empty(0, dtype=np.float64)
+        self._cf_first = np.empty(0, dtype=np.intp)
+        self._cf_count = np.empty(0, dtype=np.int64)
+        self._cf_size = np.empty(0, dtype=np.float64)
+        self._cf_bytes = np.empty(0, dtype=np.float64)
+        self._cf_labels: List[str] = []
+        self._cf_deadlines: List[Optional[float]] = []
+        self._cf_recs: List[_CoflowRecord] = []
+
+        # --- retirement log (feeds the ResultStore snapshot) ----------------
+        self._done_chunks: List[np.ndarray] = []   # global flow idx, per retire
+        self._closed_chunks: List[np.ndarray] = []  # coflow slots, per retire
+        self._done_total = 0
 
         #: Active-flow global indices, maintained as an ndarray so view
         #: building and volume integration never round-trip through lists.
@@ -208,9 +379,10 @@ class SliceSimulator:
         self._cancelled: set = set()
         # --- incremental view cache ------------------------------------------
         # Coflow grouping (and every gather of per-flow constants) only
-        # changes when the active set changes: arrivals, completions and
-        # cancellations set ``_groups_dirty``; every other decision point
-        # reuses the cached segmentation and static columns.
+        # changes when the active set changes; arrivals and retirements
+        # now patch the cached segmentation *incrementally* (append /
+        # shrink deltas), so ``_groups_dirty`` — a full rebuild — is only
+        # set by cancellation and the rare delta-ineligible arrival.
         self._groups_dirty = True
         #: Debug/benchmark knob: force a full regroup at every decision
         #: point, restoring the pre-incremental view-building cost (used
@@ -219,13 +391,20 @@ class SliceSimulator:
         self.force_regroup = False
         self._cached_states: List[CoflowState] = []
         self._cached_coflow_ids = np.empty(0, dtype=np.int64)
-        self._cached_perm = np.empty(0, dtype=np.intp)
-        self._cached_starts = np.zeros(1, dtype=np.intp)
+        self._seg = _SegmentRef(
+            np.empty(0, dtype=np.intp), np.zeros(1, dtype=np.intp)
+        )
+        self._cached_unit_of_pos = np.empty(0, dtype=np.intp)
+        self._cached_group_slots = np.empty(0, dtype=np.intp)
         self._cached_static: Dict[str, np.ndarray] = {}
+        # Preallocated per-decision scratch for the raw/comp view columns
+        # (the only per-flow state the view must re-read every decision).
+        self._scratch_raw = np.empty(0, dtype=np.float64)
+        self._scratch_comp = np.empty(0, dtype=np.float64)
         self._cap_events: List = []
         self._coflows: Dict[int, _CoflowRecord] = {}
-        # coflow id -> arrival time, for the hot _regroup ranking (a dict
-        # lookup beats chasing record attributes per coflow per decision).
+        # coflow id -> arrival time; kept for the pinned pre-columnar
+        # engine's _regroup (the columnar path uses _cf_arrival slots).
         self._coflow_arrival: Dict[int, float] = {}
         self._calendar = ArrivalCalendar()
         self._claim_nodes: List[int] = []  # nodes with a core claimed last window
@@ -252,12 +431,29 @@ class SliceSimulator:
             "_src", "_dst", "_size", "_arrival", "_compressible", "_coflow_of",
             "_flow_id", "_raw", "_comp", "_xi", "_bytes_sent", "_comp_in",
             "_comp_out", "_start", "_finish", "_finish_phys", "_state",
+            "_slot_of", "_done_seq",
         ):
             old = getattr(self, name)
             arr = np.zeros(new_cap, dtype=old.dtype)
             arr[: self._n] = old[: self._n]
             setattr(self, name, arr)
         self._cap = new_cap
+
+    def _cf_grow(self, extra: int) -> None:
+        need = self._n_cf + extra
+        if need <= self._cf_cap:
+            return
+        new_cap = max(16, self._cf_cap * 2, need)
+        for name in (
+            "_cf_id", "_cf_arrival", "_cf_remaining", "_cf_finish",
+            "_cf_finish_phys", "_cf_first", "_cf_count", "_cf_size",
+            "_cf_bytes",
+        ):
+            old = getattr(self, name)
+            arr = np.zeros(new_cap, dtype=old.dtype)
+            arr[: self._n_cf] = old[: self._n_cf]
+            setattr(self, name, arr)
+        self._cf_cap = new_cap
 
     # ------------------------------------------------------------------- API
     @property
@@ -289,46 +485,90 @@ class SliceSimulator:
 
     def submit(self, coflow: Coflow) -> None:
         """Add a coflow to the workload; allowed any time before its arrival."""
-        if coflow.arrival < self.now - 1e-12:
-            raise ConfigurationError(
-                f"coflow {coflow.coflow_id} arrives at {coflow.arrival} "
-                f"but the simulation is already at {self.now}"
-            )
-        if coflow.coflow_id in self._coflows:
-            raise ConfigurationError(f"coflow {coflow.coflow_id} submitted twice")
-        n_new = len(coflow.flows)
-        self._grow(n_new)
-        g0 = self._n
-        for j, f in enumerate(coflow.flows):
-            g = g0 + j
-            self._src[g] = f.src
-            self._dst[g] = f.dst
-            self._size[g] = f.size
-            self._arrival[g] = f.arrival
-            self._compressible[g] = f.compressible
-            self._coflow_of[g] = coflow.coflow_id
-            self._flow_id[g] = f.flow_id
-            self._raw[g] = f.size
-            self._comp[g] = 0.0
-            if f.ratio_override is not None:
-                self._xi[g] = f.ratio_override
-            elif self.compression is not None:
-                self._xi[g] = self.compression.ratio(f.size)
-            else:
-                self._xi[g] = 1.0
-            self._state[g] = _PENDING
-        self._n += n_new
-        self.fabric.validate_endpoints(
-            self._src[g0 : self._n], self._dst[g0 : self._n]
-        )
-        idx = np.arange(g0, self._n, dtype=np.intp)
-        self._coflows[coflow.coflow_id] = _CoflowRecord(coflow, idx)
-        self._coflow_arrival[coflow.coflow_id] = coflow.arrival
-        self._calendar.push(coflow)
+        self.submit_many([coflow])
 
     def submit_many(self, coflows: Sequence[Coflow]) -> None:
-        for c in coflows:
-            self.submit(c)
+        """Batched ingest: write every flow column in bulk.
+
+        One ``_grow``, one vectorized ``xi`` evaluation (the compression
+        model accepts arrays), one ``validate_endpoints`` call for the
+        whole batch — per-flow Python is limited to reading the dataclass
+        fields into lists.
+        """
+        coflows = list(coflows)
+        seen_batch = set()
+        for coflow in coflows:
+            if coflow.arrival < self.now - 1e-12:
+                raise ConfigurationError(
+                    f"coflow {coflow.coflow_id} arrives at {coflow.arrival} "
+                    f"but the simulation is already at {self.now}"
+                )
+            if coflow.coflow_id in self._coflows or coflow.coflow_id in seen_batch:
+                raise ConfigurationError(
+                    f"coflow {coflow.coflow_id} submitted twice"
+                )
+            seen_batch.add(coflow.coflow_id)
+        n_new = sum(len(c.flows) for c in coflows)
+        if n_new == 0:
+            return
+        flows = [f for c in coflows for f in c.flows]
+        src = np.asarray([f.src for f in flows], dtype=np.intp)
+        dst = np.asarray([f.dst for f in flows], dtype=np.intp)
+        self.fabric.validate_endpoints(src, dst)
+        size = np.asarray([f.size for f in flows], dtype=np.float64)
+        override = np.asarray(
+            [-1.0 if f.ratio_override is None else f.ratio_override for f in flows],
+            dtype=np.float64,
+        )
+        if self.compression is not None:
+            xi = np.asarray(self.compression.ratio(size), dtype=np.float64)
+        else:
+            xi = np.ones_like(size)
+        has_override = override >= 0.0
+        if has_override.any():
+            xi = np.where(has_override, override, xi)
+
+        self._grow(n_new)
+        g0, g1 = self._n, self._n + n_new
+        widths = np.asarray([len(c.flows) for c in coflows], dtype=np.int64)
+        slot0 = self._n_cf
+        self._cf_grow(len(coflows))
+        slots = np.arange(slot0, slot0 + len(coflows), dtype=np.intp)
+
+        self._src[g0:g1] = src
+        self._dst[g0:g1] = dst
+        self._size[g0:g1] = size
+        self._arrival[g0:g1] = [f.arrival for f in flows]
+        self._compressible[g0:g1] = [f.compressible for f in flows]
+        self._coflow_of[g0:g1] = np.repeat(
+            np.asarray([c.coflow_id for c in coflows], dtype=np.int64), widths
+        )
+        self._flow_id[g0:g1] = [f.flow_id for f in flows]
+        self._raw[g0:g1] = size
+        self._comp[g0:g1] = 0.0
+        self._xi[g0:g1] = xi
+        self._state[g0:g1] = _PENDING
+        self._slot_of[g0:g1] = np.repeat(slots, widths)
+        self._n = g1
+
+        firsts = g0 + np.concatenate(([0], np.cumsum(widths[:-1])))
+        self._cf_id[slots] = [c.coflow_id for c in coflows]
+        self._cf_arrival[slots] = [c.arrival for c in coflows]
+        self._cf_remaining[slots] = widths
+        self._cf_first[slots] = firsts
+        self._cf_count[slots] = widths
+        self._n_cf += len(coflows)
+        for coflow, first, width, slot in zip(
+            coflows, firsts.tolist(), widths.tolist(), slots.tolist()
+        ):
+            idx = np.arange(first, first + width, dtype=np.intp)
+            rec = _CoflowRecord(coflow, idx, slot=slot)
+            self._coflows[coflow.coflow_id] = rec
+            self._coflow_arrival[coflow.coflow_id] = coflow.arrival
+            self._cf_labels.append(coflow.label)
+            self._cf_deadlines.append(coflow.deadline)
+            self._cf_recs.append(rec)
+            self._calendar.push(coflow)
 
     def cancel_coflow(self, coflow_id: int) -> int:
         """Abort a coflow: its unfinished flows leave the fabric now.
@@ -349,23 +589,24 @@ class SliceSimulator:
         rec = self._coflows.get(coflow_id)
         if rec is None:
             raise ConfigurationError(f"unknown coflow {coflow_id}")
-        if rec.remaining == 0:
+        if self._cf_remaining[rec.slot] == 0:
             raise ConfigurationError(
                 f"coflow {coflow_id} already completed; nothing to cancel"
             )
         now = self.now
-        cancelled = 0
-        for g in rec.global_idx:
-            if self._state[g] in (_PENDING, _ACTIVE):
-                if self._state[g] == _PENDING:
-                    self._start[g] = now
-                self._state[g] = _CANCELLED
-                self._finish[g] = now
-                if self._finish_phys[g] == 0.0:
-                    self._finish_phys[g] = now
-                cancelled += 1
+        gi = rec.global_idx
+        st = self._state[gi]
+        live = (st == _PENDING) | (st == _ACTIVE)
+        self._start[gi[live & (st == _PENDING)]] = now
+        live_idx = gi[live]
+        self._state[live_idx] = _CANCELLED
+        self._finish[live_idx] = now
+        unset = live & (self._finish_phys[gi] == 0.0)
+        self._finish_phys[gi[unset]] = now
+        cancelled = int(np.count_nonzero(live))
         self._active = self._active[self._coflow_of[self._active] != coflow_id]
         self._groups_dirty = True
+        self._cf_remaining[rec.slot] = 0
         rec.remaining = 0
         self._cancelled.add(int(coflow_id))
         tr = self.obs.tracer
@@ -515,13 +756,77 @@ class SliceSimulator:
 
     def result(self) -> SimulationResult:
         return SimulationResult(
-            flow_results=list(self._flow_results),
-            coflow_results=list(self._coflow_results),
             makespan=self.now,
             decision_points=self._decision_points,
             cpu_recorder=self._recorder,
             ingress_bytes=self._ingress_bytes.copy(),
             egress_bytes=self._egress_bytes.copy(),
+            store=self._snapshot_store(),
+        )
+
+    def _snapshot_store(self) -> ResultStore:
+        """Columnar snapshot of every retired flow / closed coflow so far.
+
+        All gathers copy, so the snapshot stays frozen if the simulation
+        resumes toward a later horizon (``run(until=...)`` incremental
+        use) and retires more flows afterwards.
+        """
+        if self._done_chunks:
+            flows = np.concatenate(self._done_chunks)
+        else:
+            flows = np.empty(0, dtype=np.intp)
+        if self._closed_chunks:
+            closed = np.concatenate(self._closed_chunks)
+        else:
+            closed = np.empty(0, dtype=np.intp)
+        # Member segmentation: for each closed coflow (close order), the
+        # flat flow positions of its members in retirement order — what
+        # the eager per-coflow accumulation lists used to hold.
+        closed_ord = np.full(self._n_cf, -1, dtype=np.int64)
+        closed_ord[closed] = np.arange(closed.size, dtype=np.int64)
+        ord_of_flow = closed_ord[self._slot_of[flows]] if flows.size else (
+            np.empty(0, dtype=np.int64)
+        )
+        is_member = ord_of_flow >= 0
+        member_pos = np.nonzero(is_member)[0]
+        member_ord = ord_of_flow[is_member]
+        order = np.argsort(member_ord, kind="stable")
+        member_perm = member_pos[order].astype(np.intp, copy=False)
+        member_counts = np.bincount(member_ord, minlength=closed.size)
+        member_starts = np.concatenate(
+            ([0], np.cumsum(member_counts))
+        ).astype(np.intp)
+        decompress_speed = (
+            self.compression.codec.decompression_speed
+            if self.compression is not None
+            else None
+        )
+        closed_list = closed.tolist()
+        return ResultStore(
+            flow_id=self._flow_id[flows],
+            coflow_id=self._coflow_of[flows],
+            src=self._src[flows],
+            dst=self._dst[flows],
+            size=self._size[flows],
+            arrival=self._arrival[flows],
+            start=self._start[flows],
+            finish=self._finish[flows],
+            finish_phys=self._finish_phys[flows],
+            bytes_sent=self._bytes_sent[flows],
+            comp_in=self._comp_in[flows],
+            comp_out=self._comp_out[flows],
+            decompress_speed=decompress_speed,
+            cf_id=self._cf_id[closed],
+            cf_label=[self._cf_labels[s] for s in closed_list],
+            cf_arrival=self._cf_arrival[closed],
+            cf_finish=self._cf_finish[closed],
+            cf_finish_phys=self._cf_finish_phys[closed],
+            cf_size=self._cf_size[closed],
+            cf_width=self._cf_count[closed],
+            cf_bytes_sent=self._cf_bytes[closed],
+            cf_deadline=[self._cf_deadlines[s] for s in closed_list],
+            cf_member_perm=member_perm,
+            cf_member_starts=member_starts,
         )
 
     # ------------------------------------------------------------- internals
@@ -541,60 +846,76 @@ class SliceSimulator:
             for c in self._calendar.pop_due(self.now + 1e-12)
             if c.coflow_id not in self._cancelled
         ]
-        tr = self.obs.tracer
-        for coflow in due:
-            rec = self._coflows[coflow.coflow_id]
-            self._state[rec.global_idx] = _ACTIVE
-            self._start[rec.global_idx] = self.now
-            self._active = np.concatenate((self._active, rec.global_idx))
+        if not due:
+            return due
+        recs = [self._coflows[c.coflow_id] for c in due]
+        new_idx = (
+            recs[0].global_idx
+            if len(recs) == 1
+            else np.concatenate([r.global_idx for r in recs])
+        )
+        self._state[new_idx] = _ACTIVE
+        self._start[new_idx] = self.now
+        old_n = self._active.size
+        self._active = np.concatenate((self._active, new_idx))
+        if self._groups_dirty or self.force_regroup:
             self._groups_dirty = True
-            if tr.enabled:
+        else:
+            self._regroup_extend(recs, new_idx, old_n)
+        tr = self.obs.tracer
+        if tr.enabled:
+            for coflow, rec in zip(due, recs):
                 tr.emit(
                     self.now,
                     "arrival",
                     coflow_id=int(coflow.coflow_id),
                     n_flows=len(rec.global_idx),
                 )
-        if due:
-            self.obs.metrics.counter("engine.arrivals").inc(len(due))
+        self.obs.metrics.counter("engine.arrivals").inc(len(due))
         return due
 
     def _regroup(self) -> None:
-        """Recompute the coflow segmentation of the active set.
+        """Recompute the coflow segmentation of the active set from scratch.
 
         Invariant: the grouping (states list, per-state ``flow_idx``
         positions, ``coflow_ids`` column, unit permutation/offsets and
         every gather of per-flow *constants*) depends only on
-        ``_active``, which changes exclusively on arrivals, completions
-        and cancellations — exactly the sites that set
-        ``_groups_dirty``.  Decision points triggered by anything else
-        (raw exhaustion, capacity changes, horizon) reuse the cache.
+        ``_active``.  Arrivals and retirements keep the cache current
+        with the incremental deltas below; this full rebuild runs on the
+        first decision, after cancellations, when ``force_regroup`` is
+        set, and for the rare arrival batch the append delta cannot
+        handle (a mid-run submission arriving no later than an already
+        active coflow).
         """
         idx = self._active
         coflow_ids = self._coflow_of[idx]
+        slots_of_pos = self._slot_of[idx]
         # Rank distinct coflows by (arrival, coflow_id) — the order the
         # old per-decision dict grouping produced after its sort.
-        uids, inv = np.unique(coflow_ids, return_inverse=True)
-        arr_of = self._coflow_arrival
-        arrivals = np.asarray([arr_of[c] for c in uids.tolist()])
-        by_arrival = np.lexsort((uids, arrivals))
-        rank = np.empty(len(uids), dtype=np.intp)
-        rank[by_arrival] = np.arange(len(uids), dtype=np.intp)
-        unit_of_pos = rank[inv]
+        uslots, inv = np.unique(slots_of_pos, return_inverse=True)
+        arrivals = self._cf_arrival[uslots]
+        ids = self._cf_id[uslots]
+        by_arrival = np.lexsort((ids, arrivals))
+        rank = np.empty(len(uslots), dtype=np.intp)
+        rank[by_arrival] = np.arange(len(uslots), dtype=np.intp)
+        unit_of_pos = rank[inv].astype(np.intp, copy=False)
         # Stable sort keeps positions ascending within each coflow,
         # matching the old scan order.
         perm = np.argsort(unit_of_pos, kind="stable").astype(np.intp, copy=False)
-        counts = np.bincount(unit_of_pos, minlength=len(uids))
+        counts = np.bincount(unit_of_pos, minlength=len(uslots))
         starts = np.concatenate(([0], np.cumsum(counts))).astype(np.intp)
+        group_slots = uslots[by_arrival]
+        self._seg.perm = perm
+        self._seg.starts = starts
         states: List[CoflowState] = []
-        for k, u in enumerate(by_arrival):
-            rec = self._coflows[int(uids[u])]
-            rec.state.flow_idx = perm[starts[k] : starts[k + 1]]
-            states.append(rec.state)
+        for k, s in enumerate(group_slots.tolist()):
+            state = self._cf_recs[s].state
+            state.bind_segments(self._seg, k)
+            states.append(state)
         self._cached_states = states
         self._cached_coflow_ids = coflow_ids
-        self._cached_perm = perm
-        self._cached_starts = starts
+        self._cached_unit_of_pos = unit_of_pos
+        self._cached_group_slots = group_slots.astype(np.intp, copy=False)
         self._cached_static = {
             "flow_ids": self._flow_id[idx],
             "src": self._src[idx],
@@ -606,12 +927,119 @@ class SliceSimulator:
         }
         self._groups_dirty = False
 
+    def _regroup_extend(
+        self, recs: List[_CoflowRecord], new_idx: np.ndarray, old_n: int
+    ) -> None:
+        """Append delta: newly arrived coflows join the cached grouping.
+
+        Groups are ordered by (arrival, coflow_id); arrivals pop from the
+        calendar in nondecreasing time, so a due batch normally sorts
+        strictly after every active group and can be appended without
+        touching the existing segmentation.  The one exception — a
+        coflow submitted mid-run whose arrival does not exceed the last
+        active group's — falls back to a full rebuild.
+        """
+        slots = np.asarray([r.slot for r in recs], dtype=np.intp)
+        arrivals = self._cf_arrival[slots]
+        gslots = self._cached_group_slots
+        if gslots.size and arrivals.min() <= self._cf_arrival[gslots[-1]]:
+            self._groups_dirty = True
+            return
+        order = np.lexsort((self._cf_id[slots], arrivals))
+        widths = np.asarray([len(r.global_idx) for r in recs], dtype=np.int64)
+        g0 = len(self._cached_states)
+        # Batch positions: rec i occupies [off[i], off[i]+width[i]) past old_n.
+        offs = np.concatenate(([0], np.cumsum(widths))).astype(np.intp)
+        perm_chunk = np.concatenate(
+            [np.arange(old_n + offs[i], old_n + offs[i + 1], dtype=np.intp)
+             for i in order]
+        )
+        rank = np.empty(len(recs), dtype=np.intp)
+        rank[order] = np.arange(len(recs), dtype=np.intp)
+        unit_chunk = g0 + np.repeat(rank, widths).astype(np.intp, copy=False)
+        counts_sorted = widths[order]
+        seg = self._seg
+        seg.perm = np.concatenate((seg.perm, perm_chunk))
+        seg.starts = np.concatenate(
+            (seg.starts, seg.starts[-1] + np.cumsum(counts_sorted))
+        ).astype(np.intp, copy=False)
+        for j, i in enumerate(order.tolist()):
+            state = recs[i].state
+            state.bind_segments(seg, g0 + j)
+            self._cached_states.append(state)
+        self._cached_group_slots = np.concatenate(
+            (gslots, slots[order])
+        )
+        self._cached_unit_of_pos = np.concatenate(
+            (self._cached_unit_of_pos, unit_chunk)
+        )
+        self._cached_coflow_ids = np.concatenate(
+            (self._cached_coflow_ids, self._coflow_of[new_idx])
+        )
+        static = self._cached_static
+        for key, col in (
+            ("flow_ids", self._flow_id), ("src", self._src),
+            ("dst", self._dst), ("xi", self._xi), ("size", self._size),
+            ("arrival", self._arrival), ("compressible", self._compressible),
+        ):
+            static[key] = np.concatenate((static[key], col[new_idx]))
+
+    def _regroup_shrink(self, keep: np.ndarray) -> None:
+        """Shrink delta: drop retired positions from the cached grouping.
+
+        ``keep`` masks the *old* active positions.  Filtering a
+        group-sorted permutation by a keep mask preserves order, and the
+        old→new position remap (``cumsum(keep) - 1``) is monotone, so
+        the filtered permutation is still sorted by (group, position)
+        without re-sorting.  Emptied groups drop out; surviving groups
+        keep their relative order, so only their ordinals shift.
+        """
+        unit_of_pos = self._cached_unit_of_pos
+        n_groups = len(self._cached_states)
+        counts_new = np.bincount(unit_of_pos[keep], minlength=n_groups)
+        alive = counts_new > 0
+        newpos = np.cumsum(keep) - 1  # old position -> new position
+        seg = self._seg
+        perm = seg.perm
+        perm_keep = keep[perm]
+        new_perm = newpos[perm[perm_keep]].astype(np.intp, copy=False)
+        if alive.all():
+            new_unit = unit_of_pos[keep]
+            seg.perm = new_perm
+            seg.starts = np.concatenate(
+                ([0], np.cumsum(counts_new))
+            ).astype(np.intp)
+        else:
+            new_ord = np.cumsum(alive) - 1
+            new_unit = new_ord[unit_of_pos[keep]].astype(np.intp, copy=False)
+            seg.perm = new_perm
+            seg.starts = np.concatenate(
+                ([0], np.cumsum(counts_new[alive]))
+            ).astype(np.intp)
+            alive_list = alive.tolist()
+            states = [s for s, a in zip(self._cached_states, alive_list) if a]
+            for k, state in enumerate(states):
+                state._ordinal = k
+            self._cached_states = states
+            self._cached_group_slots = self._cached_group_slots[alive]
+        self._cached_unit_of_pos = new_unit
+        self._cached_coflow_ids = self._cached_coflow_ids[keep]
+        static = self._cached_static
+        for key in static:
+            static[key] = static[key][keep]
+
     def _build_view(self, trigger: ScheduleTrigger) -> SchedulerView:
         if self._groups_dirty or self.force_regroup:
             self._regroup()
         idx = self._active
         static = self._cached_static
         free = self.cpu.free_cores(self.now)
+        n = idx.size
+        if self._scratch_raw.size < n:
+            self._scratch_raw = np.empty(self._cap, dtype=np.float64)
+            self._scratch_comp = np.empty(self._cap, dtype=np.float64)
+        raw = np.take(self._raw, idx, out=self._scratch_raw[:n])
+        comp = np.take(self._comp, idx, out=self._scratch_comp[:n])
         return SchedulerView(
             time=self.now,
             slice_len=self.slice_len,
@@ -620,8 +1048,8 @@ class SliceSimulator:
             flow_ids=static["flow_ids"],
             src=static["src"],
             dst=static["dst"],
-            raw=self._raw[idx].copy(),
-            comp=self._comp[idx].copy(),
+            raw=raw,
+            comp=comp,
             xi=static["xi"],
             size=static["size"],
             arrival=static["arrival"],
@@ -630,8 +1058,8 @@ class SliceSimulator:
             coflows=self._cached_states,
             free_cores=free,
             compression=self.compression,
-            unit_perm=self._cached_perm,
-            unit_starts=self._cached_starts,
+            unit_perm=self._seg.perm,
+            unit_starts=self._seg.starts,
         )
 
     def _validate(self, view: SchedulerView, alloc: Allocation) -> None:
@@ -778,25 +1206,82 @@ class SliceSimulator:
         return 1e-9 * self._size[gi] + 1e-9
 
     def _retire_finished(self, boundary: float) -> List[int]:
-        """Mark flows with zero volume done; close coflows; fire callbacks."""
-        finished_coflows: List[int] = []
+        """Mark flows with zero volume done; close coflows — all columnar.
+
+        Finish columns are stamped in bulk, per-coflow remaining counts
+        drop via one ``bincount`` scatter, and closed coflows surface via
+        a segment max over the retirement batch — zero per-flow Python.
+        Result dataclasses are *not* built here; the retirement log
+        (``_done_chunks`` / ``_closed_chunks``) feeds the lazy
+        :class:`ResultStore` snapshot in :meth:`result`.  The eager
+        per-flow path below runs only when flow/coflow completion
+        callbacks or the tracer need the dataclasses now.
+        """
         idx = self._active
         if len(idx) == 0:
-            return finished_coflows
+            return []
         vol = self._raw[idx] + self._comp[idx]
         done_mask = vol <= self._eps(idx)
         done_idx = idx[done_mask]
         if len(done_idx) == 0:
-            return finished_coflows
-        self._active = idx[~done_mask]
-        self._groups_dirty = True
+            return []
+        keep = ~done_mask
+        self._active = idx[keep]
+        if self._groups_dirty or self.force_regroup:
+            self._groups_dirty = True
+        else:
+            self._regroup_shrink(keep)
         self._state[done_idx] = _DONE
         self._finish[done_idx] = boundary
         unset = self._finish_phys[done_idx] == 0.0
         self._finish_phys[done_idx[unset]] = boundary
+        self._done_seq[done_idx] = self._done_total + np.arange(
+            len(done_idx), dtype=np.int64
+        )
+        self._done_total += len(done_idx)
+        self._done_chunks.append(done_idx)
+
+        # --- close coflows via segment ops over the batch -------------------
+        slots = self._slot_of[done_idx]
+        batch_counts = np.bincount(slots, minlength=self._n_cf)
+        remaining = self._cf_remaining[: self._n_cf]
+        remaining -= batch_counts
+        np.maximum.at(self._cf_finish_phys, slots, self._finish_phys[done_idx])
+        closed = np.nonzero((remaining == 0) & (batch_counts > 0))[0]
+        if closed.size > 1:
+            # Close order = order each coflow's *last* flow retires in the
+            # batch (what the per-flow loop produced).
+            last = np.zeros(self._n_cf, dtype=np.int64)
+            np.maximum.at(last, slots, np.arange(len(done_idx), dtype=np.int64))
+            closed = closed[np.argsort(last[closed], kind="stable")]
+        closed = closed.astype(np.intp, copy=False)
+        self._cf_finish[closed] = boundary
+        # Per-coflow totals, summed at close time in store order — the
+        # same contiguous slice (and summation order) the eager
+        # ``CoflowResult`` used, so lazy results match bitwise.
+        for s in closed.tolist():
+            a = self._cf_first[s]
+            b = a + self._cf_count[s]
+            self._cf_size[s] = self._size[a:b].sum()
+            self._cf_bytes[s] = self._bytes_sent[a:b].sum()
+        self._closed_chunks.append(closed)
+
         tr = self.obs.tracer
         mx = self.obs.metrics
         mx.counter("engine.flow_completions").inc(len(done_idx))
+        mx.counter("engine.completions").inc(int(closed.size))
+        if tr.enabled or self._on_flow_complete or self._on_coflow_complete:
+            self._emit_eager(boundary, done_idx, closed, tr)
+        return [int(self._cf_id[s]) for s in closed.tolist()]
+
+    def _emit_eager(self, boundary, done_idx, closed, tr) -> None:
+        """Materialize result dataclasses now, for callbacks/tracer.
+
+        Field values are identical to the lazy store-backed path; only
+        object identity differs (callback consumers get their own
+        instances).  Ordering matches the pre-columnar per-flow loop:
+        flow completions in retirement order, then closed coflows.
+        """
         for g in done_idx:
             fr = self._make_flow_result(int(g))
             if tr.enabled:
@@ -806,37 +1291,28 @@ class SliceSimulator:
                     flow_id=fr.flow_id,
                     coflow_id=fr.coflow_id,
                 )
-            self._flow_results.append(fr)
             for fn in self._on_flow_complete:
                 fn(fr)
-            rec = self._coflows[self._coflow_of[g]]
-            rec.flow_results.append(fr)
-            rec.remaining -= 1
-            rec.finish_phys = max(rec.finish_phys, self._finish_phys[g])
-            if rec.remaining == 0:
-                finished_coflows.append(int(self._coflow_of[g]))
-        for cid in finished_coflows:
-            rec = self._coflows[cid]
+        for s in closed.tolist():
+            rec = self._cf_recs[s]
             gi = rec.global_idx
+            members = gi[np.argsort(self._done_seq[gi], kind="stable")]
             cr = CoflowResult(
-                coflow_id=cid,
+                coflow_id=int(self._cf_id[s]),
                 label=rec.coflow.label,
                 arrival=rec.coflow.arrival,
                 finish=boundary,
-                finish_physical=rec.finish_phys,
-                size=float(self._size[gi].sum()),
+                finish_physical=float(self._cf_finish_phys[s]),
+                size=float(self._cf_size[s]),
                 width=len(gi),
-                bytes_sent=float(self._bytes_sent[gi].sum()),
-                flow_results=list(rec.flow_results),
+                bytes_sent=float(self._cf_bytes[s]),
+                flow_results=[self._make_flow_result(int(g)) for g in members],
                 deadline=rec.coflow.deadline,
             )
             if tr.enabled:
-                tr.emit(boundary, "completion", coflow_id=cid)
-            mx.counter("engine.completions").inc()
-            self._coflow_results.append(cr)
+                tr.emit(boundary, "completion", coflow_id=cr.coflow_id)
             for fn in self._on_coflow_complete:
                 fn(cr)
-        return finished_coflows
 
     def _make_flow_result(self, g: int) -> FlowResult:
         decompress = 0.0

@@ -151,6 +151,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
            "and asserts the 2.5x suite-level floor + bit-identity",
            ("repro.runner", "repro.analysis.sweepbench"),
            "bench_sweep_scale.py"),
+        _E("bigtrace", "Trace-scale end-to-end replay",
+           "131k-flow synthetic FB trace: columnar ingest/retire/results "
+           "vs the pinned pre-columnar engine; appends to "
+           "BENCH_bigtrace.json and asserts the 3x floor + bit-identity",
+           ("repro.analysis.bigbench", "repro.core.results",
+            "repro.core.reference"),
+           "bench_bigtrace_scale.py"),
     ]
 }
 

@@ -273,6 +273,11 @@ class ResultSummary:
     def from_result(
         cls, policy: str, result: SimulationResult, arrays: bool = False
     ) -> "ResultSummary":
+        # Everything here reads the result's cached columnar arrays —
+        # no FlowResult/CoflowResult dataclasses are materialized, so a
+        # lazy (ResultStore-backed) result stays lazy through the pool.
+        fct = result.fct_array
+        cct = result.cct_array
         out = cls(
             policy=policy,
             avg_fct=result.avg_fct,
@@ -280,19 +285,20 @@ class ResultSummary:
             makespan=result.makespan,
             decision_points=result.decision_points,
             traffic_reduction=result.traffic_reduction,
-            num_flows=len(result.flow_results),
-            num_coflows=len(result.coflow_results),
+            num_flows=int(fct.size),
+            num_coflows=int(cct.size),
             total_bytes_sent=result.total_bytes_sent,
             total_bytes_original=result.total_bytes_original,
         )
         if arrays:
-            out.fct = np.asarray([f.fct for f in result.flow_results])
-            out.flow_size = np.asarray([f.size for f in result.flow_results])
-            out.cct = np.asarray([c.cct for c in result.coflow_results])
-            out.coflow_finish = np.asarray(
-                [c.finish for c in result.coflow_results]
-            )
+            out.fct = fct
+            out.flow_size = result.size_array
+            out.cct = cct
+            out.coflow_finish = result.finish_array
         return out
+
+    #: Short alias used by bench/analysis code: ``ResultSummary.of(...)``.
+    of = from_result
 
     def to_json(self) -> Dict:
         d = {

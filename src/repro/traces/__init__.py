@@ -13,6 +13,7 @@ from repro.traces.distributions import (
 from repro.traces.facebook import (
     FacebookTrace,
     read_facebook_trace,
+    synthesize,
     synthesize_facebook_like,
     trace_summary,
     write_facebook_trace,
@@ -48,7 +49,7 @@ __all__ = [
     "WorkloadConfig", "generate_workload", "generate_flow_workload",
     "workload_stats", "filter_workload_by_size",
     "FacebookTrace", "read_facebook_trace", "write_facebook_trace",
-    "synthesize_facebook_like", "trace_summary",
+    "synthesize", "synthesize_facebook_like", "trace_summary",
     "read_csv_trace", "write_csv_trace",
     "BINS", "ClassifierConfig", "classify_coflow", "bin_counts",
     "cct_by_bin", "speedup_by_bin",

@@ -161,6 +161,11 @@ def synthesize_facebook_like(
     return FacebookTrace(num_ports=num_ports, coflows=coflows)
 
 
+#: Canonical short name (``traces.facebook.synthesize``) used by the
+#: bigtrace benchmark and docs.
+synthesize = synthesize_facebook_like
+
+
 def _bounded_zipf(rng: np.random.Generator, upper: int, a: float = 1.8) -> int:
     """Zipf draw clipped to [1, upper]."""
     return int(min(rng.zipf(a), upper))

@@ -172,6 +172,41 @@ class TestRoundtrip:
         cache.put(spec, summary)
         assert cache.get(spec) == summary
 
+    def test_summary_is_columnar_no_dataclass_roundtrip(self):
+        """ResultSummary.of reads the result's cached columns directly —
+        the lazy sequences stay unmaterialized and the arrays are the
+        very objects SimulationResult caches."""
+        result = run_policy("fvdf", _coflows(), SETUP)
+        summary = ResultSummary.of("fvdf", result, arrays=True)
+        assert summary.fct is result.fct_array
+        assert summary.flow_size is result.size_array
+        assert summary.cct is result.cct_array
+        assert summary.coflow_finish is result.finish_array
+        # ... and they match the dataclass path bit for bit.
+        assert np.array_equal(
+            summary.fct, [f.fct for f in result.flow_results]
+        )
+        assert np.array_equal(
+            summary.cct, [c.cct for c in result.coflow_results]
+        )
+        assert summary.num_flows == len(result.flow_results)
+        assert summary.num_coflows == len(result.coflow_results)
+
+    def test_warm_cache_summary_identical(self, tmp_path):
+        """A warm-cache hit returns a summary equal (bit-exact arrays
+        included) to the one computed live from the columnar result."""
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = _spec(arrays=True)
+        [cold] = run_specs([spec], workers=0, cache=cache)
+        [warm] = run_specs([spec], workers=0, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert warm.summary == cold.summary
+        live = ResultSummary.of(
+            "fvdf", run_policy("fvdf", spec.workload.build(), SETUP),
+            arrays=True,
+        )
+        assert warm.summary == live
+
     def test_hit_miss_counters(self, tmp_path):
         cache = ResultCache(root=tmp_path, enabled=True)
         specs = [_spec(), _spec(policy="sebf")]
