@@ -49,6 +49,10 @@ SCHEMA = "repro-bench-bigtrace-v1"
 #: Minimum acceptable columnar-vs-pre-columnar end-to-end speedup.
 MIN_SPEEDUP = 3.0
 
+#: Minimum fraction of the untraced columnar speedup the recorder-attached
+#: replay must retain (recorder wall clock ≤ untraced / this).
+MIN_RECORDER_RETENTION = 0.8
+
 
 @dataclass(frozen=True)
 class TraceCase:
@@ -126,13 +130,14 @@ def _summarize(result) -> Dict:
     }
 
 
-def run_arm(case: TraceCase, trace, sim_cls: Optional[Type] = None):
+def run_arm(case: TraceCase, trace, sim_cls: Optional[Type] = None, obs=None):
     """One end-to-end replay: submit → run → summarize, timed.
 
     Returns ``(wall_seconds, result, summary)``.  ``sim_cls`` defaults to
     the current engine; pass
     :class:`~repro.core.reference.PreColumnarSliceSimulator` for the
-    pinned baseline.
+    pinned baseline.  ``obs`` attaches an observability bundle (the
+    recorder arm hands in a flight recorder this way).
     """
     from repro.core.simulator import SliceSimulator
     from repro.schedulers import make_scheduler
@@ -145,12 +150,14 @@ def run_arm(case: TraceCase, trace, sim_cls: Optional[Type] = None):
     )
     scheduler = make_scheduler(case.policy)
     base = setup.build_simulator(scheduler)
+    kwargs = {} if obs is None else {"obs": obs}
     sim = cls(
         base.fabric,
         scheduler,
         slice_len=setup.slice_len,
         cpu=base.cpu,
         compression=base.compression,
+        **kwargs,
     )
     t0 = time.perf_counter()
     sim.submit_many(trace.coflows)
@@ -187,19 +194,42 @@ def identical_results(res_new, res_old, sum_new: Dict, sum_old: Dict) -> bool:
 
 
 def bench_entry(
-    repeats: int = 2, label: str = "", case: Optional[TraceCase] = None
+    repeats: int = 2,
+    label: str = "",
+    case: Optional[TraceCase] = None,
+    npz_out=None,
+    smoke_trace_identity: bool = False,
 ) -> Dict:
-    """Replay the trace through both arms; return one trajectory entry."""
+    """Replay the trace through all three arms; return one trajectory entry.
+
+    Arms: columnar (tracked ``after``), pinned pre-columnar (``before``),
+    and columnar with a flight recorder attached (``recorder``, whose
+    ``retained`` ratio is floor-asserted at :data:`MIN_RECORDER_RETENTION`
+    by :func:`check_entry`).  ``npz_out`` saves the recorder arm's
+    columnar trace; ``smoke_trace_identity`` additionally runs a legacy
+    tracer arm and records whether the decoded recorder stream matches it
+    record for record (seconds-scale cases only — the tracer arm is the
+    slow path the recorder exists to avoid).
+    """
     from repro.core.reference import PreColumnarSliceSimulator
+    from repro.obs import Observability
 
     case = case or CASE
     trace = synthesize_case(case)
-    best_after = best_before = None
+    best_after = best_before = best_rec = None
     res_new = sum_new = res_old = sum_old = None
+    recorder = None
     for _ in range(max(1, repeats)):
         wall, res_new, sum_new = run_arm(case, trace)
         if best_after is None or wall < best_after:
             best_after = wall
+    for _ in range(max(1, repeats)):
+        # A fresh recorder per repeat: each replay records the full run.
+        obs = Observability(trace=False, metrics=False, record=True)
+        wall, res_rec, sum_rec = run_arm(case, trace, obs=obs)
+        if best_rec is None or wall < best_rec:
+            best_rec = wall
+            recorder = obs.recorder
     for _ in range(max(1, repeats)):
         wall, res_old, sum_old = run_arm(
             case, trace, sim_cls=PreColumnarSliceSimulator
@@ -207,7 +237,23 @@ def bench_entry(
         if best_before is None or wall < best_before:
             best_before = wall
     ident = identical_results(res_new, res_old, sum_new, sum_old)
-    return {
+    rec_entry = {
+        "wall_s": round(best_rec, 6),
+        "records": len(recorder),
+        "nbytes": recorder.nbytes(),
+        # Fraction of the untraced columnar speedup the recorder-attached
+        # replay retains: (before/rec) / (before/after) = after/rec.
+        "retained": round(best_after / best_rec, 4),
+        "floor": MIN_RECORDER_RETENTION,
+    }
+    if smoke_trace_identity:
+        obs_tr = Observability(trace=True, metrics=False)
+        _, _, _ = run_arm(case, trace, obs=obs_tr)
+        rec_entry["identical"] = list(recorder) == obs_tr.tracer.records
+    if npz_out is not None:
+        recorder.save_npz(npz_out)
+        rec_entry["npz"] = str(npz_out)
+    entry = {
         "label": label or "bigtrace",
         "created_unix": round(time.time(), 3),
         "python": platform.python_version(),
@@ -226,6 +272,7 @@ def bench_entry(
         "decisions": res_new.decision_points,
         "makespan": res_new.makespan,
         "identical": ident,
+        "recorder": rec_entry,
         "speedup": {
             "case": case.name,
             "before_s": round(best_before, 6),
@@ -236,19 +283,29 @@ def bench_entry(
                          "dataclass results)",
         },
     }
+    return entry
 
 
 def check_entry(entry: Dict, smoke: bool = False) -> None:
     """Assert the entry's invariants (speedup floor skipped for smoke).
 
-    ``identical`` must hold at any scale; the ≥MIN_SPEEDUP floor is only
-    meaningful on the full-size case (tiny smoke traces amortize nothing).
+    ``identical`` must hold at any scale; the ≥MIN_SPEEDUP and recorder
+    retention floors are only meaningful on the full-size case (tiny
+    smoke traces amortize nothing).  Smoke entries instead assert the
+    decoded recorder stream matched the legacy tracer record for record
+    (when the entry carried that arm).
     """
     assert entry["identical"], (
         "columnar and pre-columnar results diverged on "
         f"{entry['trace']['case']!r}"
     )
+    rec = entry.get("recorder") or {}
     if smoke:
+        if "identical" in rec:
+            assert rec["identical"], (
+                "decoded flight-recorder stream diverged from the legacy "
+                f"tracer on {entry['trace']['case']!r}"
+            )
         return
     speedup = entry["speedup"]
     assert speedup["ratio"] >= MIN_SPEEDUP, (
@@ -256,6 +313,13 @@ def check_entry(entry: Dict, smoke: bool = False) -> None:
         f"{MIN_SPEEDUP:.1f}x on {speedup['case']!r} "
         f"(before {speedup['before_s']:.2f}s, after {speedup['after_s']:.2f}s)"
     )
+    if rec:
+        assert rec["retained"] >= MIN_RECORDER_RETENTION, (
+            f"recorder-attached replay retains only {rec['retained']:.0%} "
+            f"of the untraced columnar speedup "
+            f"(< {MIN_RECORDER_RETENTION:.0%} floor: untraced "
+            f"{speedup['after_s']:.2f}s vs recorder {rec['wall_s']:.2f}s)"
+        )
 
 
 def default_bigbench_path():

@@ -1,0 +1,179 @@
+"""Run-level telemetry reports for pooled sweeps (``python -m repro report``).
+
+Takes the :class:`~repro.runner.telemetry.RunTelemetry` a pooled sweep
+collected — one :class:`~repro.runner.telemetry.TelemetrySnapshot` per
+executed cell plus the parent's cache counters — and turns it into:
+
+* :func:`build_report` — a JSON-able dict (schema :data:`SCHEMA`) with
+  the merged metrics, per-policy aggregates (decision latency, bytes
+  sent, compression core claims), per-worker load split and cache
+  effectiveness;
+* :func:`render_report` — the terminal rendering of the same data.
+
+The report answers the questions a sweep leaves behind: which policy
+spent its time where, did the pool balance, did the cache help.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.runner.telemetry import RunTelemetry
+
+__all__ = ["SCHEMA", "build_report", "render_report", "write_report"]
+
+#: Schema tag of ``report.json`` (bump on breaking layout changes).
+SCHEMA = "repro-report-v1"
+
+
+def _metric(dump: Dict[str, Dict[str, Any]], name: str, field: str = "value"):
+    entry = dump.get(name)
+    return entry.get(field, 0) if entry else 0
+
+
+def _aggregate(snapshots) -> Dict[str, Any]:
+    """Fold a snapshot list into one aggregate block (merged metrics +
+    summed wall/CPU)."""
+    reg_dump: Dict[str, Dict[str, Any]] = {}
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry(enabled=True)
+    wall = cpu = 0.0
+    records = 0
+    for snap in snapshots:
+        reg.merge(snap.metrics)
+        wall += snap.wall_s
+        cpu += snap.cpu_s
+        if snap.recorder:
+            records += int(snap.recorder.get("records", 0))
+    reg_dump = reg.dump()
+    decisions = _metric(reg_dump, "engine.decisions")
+    latency = reg_dump.get("engine.decision_latency", {})
+    claims = _metric(reg_dump, "engine.core_claims")
+    return {
+        "cells": len(snapshots),
+        "wall_s": round(wall, 6),
+        "cpu_s": round(cpu, 6),
+        "decisions": int(decisions),
+        "decision_latency_mean_s": (
+            float(latency["sum"]) / int(latency["count"])
+            if latency.get("count") else 0.0
+        ),
+        "bytes_sent": float(_metric(reg_dump, "engine.bytes_sent")),
+        "flow_completions": int(_metric(reg_dump, "engine.flow_completions")),
+        "core_claims": int(claims),
+        "core_claims_per_decision": (
+            float(claims) / float(decisions) if decisions else 0.0
+        ),
+        "recorder_records": records,
+        "metrics": reg_dump,
+    }
+
+
+def build_report(
+    telemetry: RunTelemetry, grid: Dict[str, Any], label: str = ""
+) -> Dict[str, Any]:
+    """Assemble the ``report.json`` payload from merged telemetry."""
+    per_policy = {
+        policy: _aggregate(snaps)
+        for policy, snaps in sorted(telemetry.by_policy().items())
+    }
+    workers_detail = {
+        str(pid): {
+            "cells": int(w["cells"]),
+            "wall_s": round(w["wall_s"], 6),
+            "cpu_s": round(w["cpu_s"], 6),
+            "peak_rss_kb": int(w["peak_rss_kb"]),
+        }
+        for pid, w in sorted(telemetry.worker_stats().items())
+    }
+    executed = telemetry.cells - telemetry.cached_cells
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "grid": grid,
+        "cells": telemetry.cells,
+        "executed_cells": executed,
+        "cached_cells": telemetry.cached_cells,
+        "workers": telemetry.workers,
+        "wall_s": round(telemetry.wall_s, 6),
+        "skew": round(telemetry.skew(), 4),
+        "cache": {
+            "hits": telemetry.cache_hits,
+            "misses": telemetry.cache_misses,
+            "corrupt_dropped": telemetry.cache_corrupt,
+        },
+        "totals": telemetry.merged_metrics().dump(),
+        "policies": per_policy,
+        "workers_detail": workers_detail,
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Terminal summary of one :func:`build_report` payload."""
+    lines = []
+    lines.append(render_table(
+        ["policy", "cells", "wall", "decisions", "latency (mean)",
+         "bytes sent", "claims/decision"],
+        [
+            [
+                policy,
+                str(p["cells"]),
+                f"{p['wall_s']:.2f}s",
+                str(p["decisions"]),
+                f"{p['decision_latency_mean_s'] * 1e6:.0f}us",
+                f"{p['bytes_sent']:.3g}",
+                f"{p['core_claims_per_decision']:.2f}",
+            ]
+            for policy, p in report["policies"].items()
+        ],
+        title=(
+            f"sweep telemetry — {report['cells']} cells "
+            f"({report['executed_cells']} executed, "
+            f"{report['cached_cells']} cached), "
+            f"{report['workers']} workers, wall {report['wall_s']:.2f}s"
+        ),
+    ))
+    if report["workers_detail"]:
+        lines.append("")
+        lines.append(render_table(
+            ["worker pid", "cells", "busy", "cpu", "peak rss"],
+            [
+                [
+                    pid,
+                    str(w["cells"]),
+                    f"{w['wall_s']:.2f}s",
+                    f"{w['cpu_s']:.2f}s",
+                    f"{w['peak_rss_kb'] / 1024:.0f}MB",
+                ]
+                for pid, w in report["workers_detail"].items()
+            ],
+            title=f"worker load (skew {report['skew']:.2f}x max/mean)",
+        ))
+    cache = report["cache"]
+    total = cache["hits"] + cache["misses"]
+    hit_pct = 100.0 * cache["hits"] / total if total else 0.0
+    lines.append(
+        f"\ncache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({hit_pct:.0f}% hit rate"
+        + (
+            f", {cache['corrupt_dropped']} corrupt dropped)"
+            if cache["corrupt_dropped"] else ")"
+        )
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path) -> Path:
+    """Write the payload as ``report.json``-style output; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path

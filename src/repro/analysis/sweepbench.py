@@ -95,12 +95,14 @@ class SweepGrid:
             arrival_rate=self.arrival_rate,
         )
 
-    def specs(self) -> List[RunSpec]:
+    def specs(self, telemetry: bool = False) -> List[RunSpec]:
         """One cacheable RunSpec per grid cell, in deterministic order.
 
         Workloads are *generated* specs (config + seed): each worker
         rebuilds its trace with ``np.random.default_rng(seed)``, so only
-        a few hundred bytes cross the pipe per cell.
+        a few hundred bytes cross the pipe per cell.  ``telemetry=True``
+        makes every cell ship a :class:`~repro.runner.telemetry.
+        TelemetrySnapshot` home (the cache digest is unaffected).
         """
         cfg = self.workload_config()
         out: List[RunSpec] = []
@@ -116,6 +118,7 @@ class SweepGrid:
                         RunSpec(
                             policy=policy, workload=workload, setup=setup,
                             key=f"s{seed}/bw{bw:g}/{policy}",
+                            telemetry=telemetry,
                         )
                     )
         return out

@@ -30,6 +30,11 @@ Subcommands
     parallel runner (:mod:`repro.runner`) with the content-addressed
     result cache; ``--smoke`` is the CI equivalence check and
     ``--bench`` the tracked ``BENCH_sweep.json`` scaling grid.
+``report``
+    Run a pooled sweep with per-worker telemetry attached and render the
+    merged run report (per-policy decision latency, bytes sent,
+    compression core claims, worker skew, cache effectiveness), writing
+    the machine-readable ``report.json`` alongside.
 
 Examples::
 
@@ -46,6 +51,8 @@ Examples::
     python -m repro sweep --workers 4
     python -m repro sweep --smoke
     python -m repro sweep --bench --check
+    python -m repro report --workers 4 --out report.json
+    python -m repro report --smoke
 """
 
 from __future__ import annotations
@@ -335,19 +342,22 @@ def _bench_bigtrace(args: argparse.Namespace) -> int:
 
     case = bigbench.SMOKE_CASE if args.smoke else bigbench.CASE
     entry = bigbench.bench_entry(
-        repeats=args.repeats, label=args.label, case=case
+        repeats=args.repeats, label=args.label, case=case,
+        npz_out=args.npz, smoke_trace_identity=args.smoke,
     )
-    tr, sp = entry["trace"], entry["speedup"]
+    tr, sp, rec = entry["trace"], entry["speedup"], entry["recorder"]
     rows = [
         [tr["case"],
          f"{tr['num_coflows']}cf/{tr['num_flows']}fl/{tr['num_ports']}p",
          tr["policy"],
          f"{sp['before_s']:.3f}s",
          f"{sp['after_s']:.3f}s",
+         f"{rec['wall_s']:.3f}s",
          f"{sp['ratio']:.2f}x"],
     ]
     print(render_table(
-        ["case", "trace", "policy", "pre-columnar", "columnar", "speedup"],
+        ["case", "trace", "policy", "pre-columnar", "columnar",
+         "+recorder", "speedup"],
         rows,
         title="Trace-scale end-to-end replay (submit_many -> run -> metrics)",
     ))
@@ -355,6 +365,18 @@ def _bench_bigtrace(args: argparse.Namespace) -> int:
         f"\nbit-identical: {entry['identical']} | decisions: "
         f"{entry['decisions']} | makespan: {entry['makespan']:.1f}s"
     )
+    rec_ident = (
+        f" | stream identical: {rec['identical']}"
+        if "identical" in rec else ""
+    )
+    print(
+        f"recorder: {rec['records']} records in "
+        f"{rec['nbytes'] / 1e6:.1f}MB of columns | retained "
+        f"{rec['retained']:.0%} of the untraced speedup"
+        f"{rec_ident}"
+    )
+    if args.npz:
+        print(f"recorder trace saved -> {args.npz}")
     if not args.smoke:
         out = Path(args.out) if args.out else bigbench.default_bigbench_path()
         if not args.dry_run:
@@ -433,7 +455,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"\nwall {wall:.2f}s | workers {workers} | cache "
         f"{'on' if stats['enabled'] else 'off'} "
-        f"({stats['hits']} hits, {stats['misses']} misses, {stats['root']})"
+        f"({stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['corrupt']} corrupt dropped, {stats['root']})"
     )
     return 0
 
@@ -505,6 +528,55 @@ def _sweep_bench(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         print(f"sweep check passed (>= {sweepbench.MIN_SPEEDUP:.1f}x)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a pooled sweep with telemetry and render the merged report."""
+    import time as _time
+
+    from repro.analysis import report as report_mod
+    from repro.analysis import sweepbench
+    from repro.runner import ResultCache, RunTelemetry, resolve_workers, run_specs
+
+    if args.smoke:
+        grid = sweepbench.SMOKE_GRID
+        workers = 2 if args.workers is None else resolve_workers(args.workers)
+    else:
+        defaults = sweepbench.GRID
+        grid = sweepbench.SweepGrid(
+            policies=tuple(args.policies),
+            bandwidths=(
+                tuple(args.bandwidths) if args.bandwidths
+                else defaults.bandwidths
+            ),
+            seeds=tuple(args.seeds) if args.seeds else defaults.seeds,
+            num_coflows=args.coflows,
+            num_ports=args.ports,
+            max_width=args.max_width,
+            arrival_rate=args.rate,
+            slice_len=args.slice,
+        )
+        if args.workers is not None:
+            workers = resolve_workers(args.workers)
+        else:
+            workers = resolve_workers(None) or resolve_workers("auto")
+    cache = ResultCache(
+        root=args.cache_dir, enabled=False if args.no_cache else None
+    )
+    specs = grid.specs(telemetry=True)
+    t0 = _time.perf_counter()
+    outs = run_specs(specs, workers=workers, cache=cache)
+    wall = _time.perf_counter() - t0
+    telemetry = RunTelemetry.collect(
+        outs, workers=workers, wall_s=wall, cache=cache
+    )
+    report = report_mod.build_report(
+        telemetry, grid.describe(), label=args.label
+    )
+    print(report_mod.render_report(report))
+    out_path = report_mod.write_report(report, args.out)
+    print(f"report written -> {out_path}")
     return 0
 
 
@@ -625,6 +697,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="with --bigtrace: seconds-scale CI case — verify "
                         "bit-identity, skip the speedup floor, no append")
+    p.add_argument("--npz", default=None,
+                   help="with --bigtrace: save the recorder arm's columnar "
+                        "trace to this .npz path")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -667,6 +742,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dry-run", action="store_true",
                    help="with --bench: print without touching the trajectory")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "report",
+        help="run a pooled sweep with per-worker telemetry and render the "
+             "merged run report (writes report.json)",
+    )
+    p.add_argument("--policies", type=_policies,
+                   default=["sebf", "scf", "ncf", "lcf", "pff", "pfp", "fvdf"])
+    p.add_argument("--bandwidths", type=_floats_csv(parse_bandwidth),
+                   default=None,
+                   help="comma list, e.g. 100mbps,1gbps,10gbps (the default)")
+    p.add_argument("--seeds", type=_floats_csv(int), default=None,
+                   help="comma list of workload seeds (default 14,15,16,17)")
+    p.add_argument("--coflows", type=int, default=60)
+    p.add_argument("--ports", type=int, default=16)
+    p.add_argument("--max-width", type=int, default=8)
+    p.add_argument("--rate", type=float, default=2.0)
+    p.add_argument("--slice", type=float, default=0.01)
+    p.add_argument("--workers", default=None,
+                   help="pool size (int or 'auto'; default: REPRO_PARALLEL "
+                        "or 'auto'; --smoke defaults to 2)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the .repro-cache result cache entirely")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the tiny CI grid instead of the full sweep")
+    p.add_argument("--label", default="", help="label recorded in report.json")
+    p.add_argument("--out", default="report.json",
+                   help="report output path (default report.json)")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("cluster", help="HiBench cluster run with/without Swallow")
     p.add_argument("--scale", default="large", choices=["large", "huge", "gigantic"])

@@ -612,6 +612,9 @@ class SliceSimulator:
         tr = self.obs.tracer
         if tr.enabled:
             tr.emit(now, "cancel", coflow_id=int(coflow_id), n_flows=cancelled)
+        flt = self.obs.recorder
+        if flt.enabled:
+            flt.add_cancel(now, int(coflow_id), cancelled)
         self.obs.metrics.counter("engine.cancellations").inc(cancelled)
         return cancelled
 
@@ -648,11 +651,14 @@ class SliceSimulator:
     def _apply_due_capacity_changes(self) -> bool:
         applied = False
         tr = self.obs.tracer
+        flt = self.obs.recorder
         while self._cap_events and self._cap_events[0][0] <= self.now + 1e-12:
             _, side, port, cap = heapq.heappop(self._cap_events)
             getattr(self.fabric, side).set_capacity(port, cap)
             if tr.enabled:
                 tr.emit(self.now, "capacity", side=side, port=port, capacity=cap)
+            if flt.enabled:
+                flt.add_capacity(self.now, side, port, cap)
             applied = True
         return applied
 
@@ -694,6 +700,7 @@ class SliceSimulator:
             view = self._build_view(trigger)
             obs = self.obs
             tr = obs.tracer
+            flt = obs.recorder
             if tr.enabled:
                 tr.emit(
                     self.now,
@@ -701,6 +708,10 @@ class SliceSimulator:
                     kinds=trigger.kinds,
                     n_flows=view.num_flows,
                     n_coflows=len(view.coflows),
+                )
+            if flt.enabled:
+                flt.add_decision(
+                    self.now, trigger.kinds, view.num_flows, len(view.coflows)
                 )
             timed = obs.metrics.enabled or obs.profiler.enabled
             if timed:
@@ -713,21 +724,25 @@ class SliceSimulator:
                     obs.profiler.add("schedule", elapsed)
             self._validate(view, alloc)
             self._apply_claims(view, alloc)
-            if tr.enabled:
+            if tr.enabled or flt.enabled:
                 tx = alloc.rates > 0
-                tr.emit(
-                    self.now,
-                    "rates",
-                    n_tx=int(tx.sum()),
-                    total=float(alloc.rates.sum()),
-                    max=float(alloc.rates.max()) if len(alloc.rates) else 0.0,
-                )
+                n_tx = int(tx.sum())
+                total = float(alloc.rates.sum())
+                max_rate = float(alloc.rates.max()) if len(alloc.rates) else 0.0
+                if tr.enabled:
+                    tr.emit(self.now, "rates", n_tx=n_tx, total=total, max=max_rate)
+                if flt.enabled:
+                    flt.add_rates(self.now, n_tx, total, max_rate)
                 if alloc.compress.any():
-                    tr.emit(
-                        self.now,
-                        "beta",
-                        flow_ids=[int(i) for i in view.flow_ids[alloc.compress]],
-                    )
+                    beta_ids = view.flow_ids[alloc.compress]
+                    if tr.enabled:
+                        tr.emit(
+                            self.now,
+                            "beta",
+                            flow_ids=[int(i) for i in beta_ids],
+                        )
+                    if flt.enabled:
+                        flt.add_beta(self.now, beta_ids)
             if self._recorder is not None:
                 self._recorder.sample_model(self.now, self.cpu)
             self._decision_points += 1
@@ -736,6 +751,8 @@ class SliceSimulator:
             n_slices, dt_kinds = self._horizon_slices(view, alloc, until)
             if tr.enabled:
                 tr.emit(self.now, "jump", n_slices=n_slices, kinds=dt_kinds)
+            if flt.enabled:
+                flt.add_jump(self.now, n_slices, dt_kinds)
             obs.metrics.histogram("engine.slices_jumped").observe(n_slices)
             boundary = (self._k + n_slices) * self.slice_len
             if obs.profiler.enabled:
@@ -871,6 +888,13 @@ class SliceSimulator:
                     coflow_id=int(coflow.coflow_id),
                     n_flows=len(rec.global_idx),
                 )
+        flt = self.obs.recorder
+        if flt.enabled:
+            flt.add_arrivals(
+                self.now,
+                [c.coflow_id for c in due],
+                [len(r.global_idx) for r in recs],
+            )
         self.obs.metrics.counter("engine.arrivals").inc(len(due))
         return due
 
@@ -1112,6 +1136,14 @@ class SliceSimulator:
             if tr.enabled:
                 for node, n in sorted(claims.items()):
                     tr.emit(self.now, "core_claim", node=node, claims=n)
+            flt = self.obs.recorder
+            if flt.enabled:
+                items = sorted(claims.items())
+                flt.add_core_claims(
+                    self.now,
+                    [node for node, _ in items],
+                    [n for _, n in items],
+                )
             self.obs.metrics.counter("engine.core_claims").inc(sum(claims.values()))
 
     def _release_claims(self) -> None:
@@ -1270,6 +1302,14 @@ class SliceSimulator:
         mx = self.obs.metrics
         mx.counter("engine.flow_completions").inc(len(done_idx))
         mx.counter("engine.completions").inc(int(closed.size))
+        flt = self.obs.recorder
+        if flt.enabled:
+            # The whole retirement batch in two columnar appends — the
+            # recorder must never trip the eager per-flow path below.
+            flt.add_flow_completions(
+                boundary, self._flow_id[done_idx], self._coflow_of[done_idx]
+            )
+            flt.add_coflow_completions(boundary, self._cf_id[closed])
         if tr.enabled or self._on_flow_complete or self._on_coflow_complete:
             self._emit_eager(boundary, done_idx, closed, tr)
         return [int(self._cf_id[s]) for s in closed.tolist()]

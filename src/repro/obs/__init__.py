@@ -9,30 +9,42 @@ typed records without touching the hot paths when disabled:
 
 * :mod:`repro.obs.trace` — an event tracer emitting typed records with
   JSONL export (read back via :func:`repro.analysis.read_trace`);
+* :mod:`repro.obs.recorder` — the columnar flight recorder: a batch-native
+  trace sink that accepts whole event batches as ndarray columns, with
+  lossless decode back to the legacy record stream (the fast way to trace
+  a million-flow replay — see ``docs/observability.md``);
 * :mod:`repro.obs.metrics` — counters, gauges and summary histograms
   (decision latency, slices fast-forwarded per jump, bus traffic …);
 * :mod:`repro.obs.profile` — wall-clock profiling of named sections
   (``schedule`` and ``integrate`` hot paths).
 
-The three are bundled in an :class:`Observability` object that the engine,
-the Swallow system layer and the cluster simulator all accept.  The default
-is :data:`NULL_OBS`, whose components are permanently disabled; every hook
-site guards on ``enabled`` before building a record, so a run without
-observability pays only a predicate check per decision point (guarded in
-``benchmarks/bench_engine_microbench.py`` to stay under 5%).
+The components are bundled in an :class:`Observability` object that the
+engine, the Swallow system layer and the cluster simulator all accept.  The
+default is :data:`NULL_OBS`, whose components are permanently disabled;
+every hook site guards on ``enabled`` before building a record, so a run
+without observability pays only a predicate check per decision point
+(guarded in ``benchmarks/bench_engine_microbench.py`` to stay under 5%).
+
+Per-record emitters that are not on a per-flow hot path (scheduler
+orderings, bus traffic, heartbeats) write to :attr:`Observability.events`,
+which routes to the tracer, the recorder, or both — so a recorder-only run
+still captures the full stream.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import NULL_PROFILER, Profiler
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 from repro.obs.trace import NULL_TRACER, TraceRecord, Tracer
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBS",
     "NULL_PROFILER",
+    "NULL_RECORDER",
     "NULL_TRACER",
     "Observability",
     "Profiler",
@@ -41,37 +53,87 @@ __all__ = [
 ]
 
 
+class _Tee:
+    """Per-record fan-out to both the tracer and the recorder's fallback."""
+
+    __slots__ = ("enabled", "_tracer", "_recorder")
+
+    def __init__(self, tracer: Tracer, recorder: FlightRecorder):
+        self.enabled = True
+        self._tracer = tracer
+        self._recorder = recorder
+
+    def emit(self, t, kind, **data):
+        self._tracer.emit(t, kind, **data)
+        self._recorder.emit(t, kind, **data)
+
+
 class Observability:
-    """Bundle of tracer + metrics + profiler handed through the stack.
+    """Bundle of tracer + recorder + metrics + profiler handed through
+    the stack.
 
     Parameters
     ----------
     trace:
-        Record typed events (decision points, arrivals, Γ orderings …).
+        Record typed events per record (decision points, arrivals, Γ
+        orderings …).  Forces the engine's batched retirement path to
+        materialize per-flow records — prefer ``record`` on large runs.
     metrics:
         Maintain counters/gauges/histograms.  Metrics are cheap enough to
         stay on even when tracing is off.
     profile:
         Time the ``schedule``/``integrate`` hot sections.
+    record:
+        Attach a columnar :class:`~repro.obs.recorder.FlightRecorder`:
+        the engine hands it vectorized event batches, keeping the hot
+        path columnar; decode with ``iter(obs.recorder)`` or
+        ``obs.recorder.to_tracer()``.
+    keep_last:
+        Ring-buffer depth (in batches) for the recorder; ``None`` keeps
+        everything.  Only meaningful with ``record=True``.
     """
 
-    __slots__ = ("tracer", "metrics", "profiler")
+    __slots__ = ("tracer", "recorder", "metrics", "profiler", "_events")
 
     def __init__(
         self,
         trace: bool = True,
         metrics: bool = True,
         profile: bool = False,
+        record: bool = False,
+        keep_last=None,
     ):
         self.tracer = Tracer() if trace else NULL_TRACER
+        self.recorder = (
+            FlightRecorder(keep_last=keep_last) if record else NULL_RECORDER
+        )
         self.metrics = MetricsRegistry(enabled=metrics)
         self.profiler = Profiler() if profile else NULL_PROFILER
+        self._events = None
+
+    @property
+    def events(self):
+        """The per-record sink for non-hot-path emitters.
+
+        Routes to the tracer, the recorder's Tracer-compatible fallback,
+        or a tee over both — whichever are enabled.  Hook sites guard on
+        ``obs.events.enabled`` exactly as they would on a tracer.
+        """
+        if self._events is None:
+            if self.tracer.enabled and self.recorder.enabled:
+                self._events = _Tee(self.tracer, self.recorder)
+            elif self.recorder.enabled:
+                self._events = self.recorder
+            else:
+                self._events = self.tracer
+        return self._events
 
     @property
     def enabled(self) -> bool:
         """Whether any component would record anything."""
         return (
             self.tracer.enabled
+            or self.recorder.enabled
             or self.metrics.enabled
             or self.profiler.enabled
         )
@@ -79,6 +141,7 @@ class Observability:
     def __repr__(self) -> str:
         return (
             f"<Observability trace={self.tracer.enabled} "
+            f"record={self.recorder.enabled} "
             f"metrics={self.metrics.enabled} profile={self.profiler.enabled}>"
         )
 
@@ -88,8 +151,10 @@ class _NullObservability(Observability):
 
     def __init__(self):
         self.tracer = NULL_TRACER
+        self.recorder = NULL_RECORDER
         self.metrics = MetricsRegistry(enabled=False)
         self.profiler = NULL_PROFILER
+        self._events = NULL_TRACER
 
 
 #: Shared disabled instance — the default everywhere an ``obs`` is accepted.

@@ -193,6 +193,62 @@ class MetricsRegistry:
                 out[name] = inst.value
         return out
 
+    # --------------------------------------------------- serialize / merge
+    def dump(self) -> Dict[str, Dict[str, object]]:
+        """Typed JSON-able snapshot, losslessly mergeable across processes.
+
+        Unlike :meth:`as_dict` (a flat display snapshot), every entry
+        carries its instrument type, so :meth:`merge` can combine dumps
+        from pool workers without guessing what a bare float means.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out[name] = {"type": "counter", "value": inst.value}
+            elif isinstance(inst, Gauge):
+                out[name] = {"type": "gauge", "value": inst.value}
+            elif isinstance(inst, Histogram):
+                out[name] = {"type": "histogram", **inst.summary()}
+        return out
+
+    def merge(self, dump: Dict[str, Dict[str, object]]) -> None:
+        """Fold one :meth:`dump` into this registry.
+
+        Counters add, gauges keep the maximum (peak-seen semantics — the
+        only order-independent choice), histograms combine their count /
+        sum / min / max exactly as if every observation had landed here.
+        A disabled registry ignores the merge (its accessors hand out the
+        shared no-op instrument, which must stay untouched).
+        """
+        if not self.enabled:
+            return
+        for name, entry in dump.items():
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(name).inc(float(entry["value"]))
+            elif kind == "gauge":
+                g = self.gauge(name)
+                g.set(max(g.value, float(entry["value"])))
+            elif kind == "histogram":
+                n = int(entry["count"])
+                if n == 0:
+                    self.histogram(name)  # keep the name registered
+                    continue
+                h = self.histogram(name)
+                h.count += n
+                h.total += float(entry["sum"])
+                h.min = min(h.min, float(entry["min"]))
+                h.max = max(h.max, float(entry["max"]))
+            else:
+                raise ValueError(f"unknown instrument type {kind!r} for {name!r}")
+
+    @classmethod
+    def from_dump(cls, dump: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        """A fresh enabled registry preloaded from one :meth:`dump`."""
+        reg = cls(enabled=True)
+        reg.merge(dump)
+        return reg
+
     def render(self) -> str:
         """Human-readable dump, one instrument per line."""
         lines = []

@@ -31,10 +31,12 @@ from repro.runner.spec import (
     RunSpec,
     WorkloadSpec,
 )
+from repro.runner.telemetry import RunTelemetry, TelemetrySnapshot
 
 __all__ = [
     "RunSpec", "WorkloadSpec", "ResultSummary", "RunOutcome",
     "run_specs", "execute_spec", "resolve_workers", "usable_cores",
     "ResultCache", "cache_enabled_by_env", "default_cache_root",
     "CACHE_SCHEMA", "SUMMARY_METRICS",
+    "RunTelemetry", "TelemetrySnapshot",
 ]

@@ -64,6 +64,7 @@ class ResultCache:
         self.enabled = cache_enabled_by_env() if enabled is None else bool(enabled)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     @classmethod
     def resolve(cls, cache) -> "ResultCache":
@@ -114,6 +115,7 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 pass
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -151,4 +153,13 @@ class ResultCache:
             "root": str(self.root),
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
         }
+
+    def record_metrics(self, metrics) -> None:
+        """Publish the hit/miss/corrupt counters into an obs
+        :class:`~repro.obs.metrics.MetricsRegistry` (standard names
+        ``cache.hits`` / ``cache.misses`` / ``cache.corrupt_dropped``)."""
+        metrics.counter("cache.hits").inc(self.hits)
+        metrics.counter("cache.misses").inc(self.misses)
+        metrics.counter("cache.corrupt_dropped").inc(self.corrupt)

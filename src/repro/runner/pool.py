@@ -29,7 +29,6 @@ nested calls never spawn pools-within-pools.
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
@@ -37,6 +36,7 @@ from typing import List, Optional, Sequence, Union
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ResultSummary, RunSpec
+from repro.runner.telemetry import TelemetrySnapshot, _Stopwatch
 
 ENV_PARALLEL = "REPRO_PARALLEL"
 _ENV_IN_WORKER = "REPRO_IN_WORKER"
@@ -85,6 +85,9 @@ class RunOutcome:
     result: Optional[object] = None
     cached: bool = False
     wall_s: float = 0.0
+    #: populated for ``telemetry=True`` specs that actually executed
+    #: (cache-served cells ran nothing, so they carry no snapshot).
+    telemetry: Optional[object] = None
 
     @property
     def payload(self):
@@ -102,16 +105,31 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
 
     coflows = spec.workload.build()
     scheduler = spec.build_scheduler()
-    t0 = time.perf_counter()
-    result = run_policy(scheduler, coflows, spec.setup)
-    wall = time.perf_counter() - t0
+    obs = None
+    if spec.telemetry:
+        from repro.obs import Observability
+
+        # Metrics only: no per-record tracer (it would force the engine's
+        # eager per-flow path), no recorder (nothing consumes the trace).
+        obs = Observability(trace=False, metrics=True)
+    with _Stopwatch() as clock:
+        result = run_policy(scheduler, coflows, spec.setup, obs=obs)
     key = spec.key or scheduler.name
+    snapshot = None
+    if spec.telemetry:
+        snapshot = TelemetrySnapshot.capture(
+            key, scheduler.name, obs, clock.wall_s, clock.cpu_s
+        )
     if spec.full:
-        return RunOutcome(key=key, result=result, wall_s=wall)
+        return RunOutcome(
+            key=key, result=result, wall_s=clock.wall_s, telemetry=snapshot
+        )
     summary = ResultSummary.from_result(
         scheduler.name, result, arrays=spec.arrays
     )
-    return RunOutcome(key=key, summary=summary, wall_s=wall)
+    return RunOutcome(
+        key=key, summary=summary, wall_s=clock.wall_s, telemetry=snapshot
+    )
 
 
 def run_specs(

@@ -201,6 +201,10 @@ class RunSpec:
     full: bool = False
     #: include per-flow/per-coflow arrays in the summary.
     arrays: bool = False
+    #: run with a metrics registry attached and ship a TelemetrySnapshot
+    #: back on the RunOutcome.  Deliberately *not* part of the cache
+    #: digest: telemetry observes the run, it cannot change its results.
+    telemetry: bool = False
 
     def build_scheduler(self) -> Scheduler:
         from repro.schedulers import make_scheduler

@@ -136,7 +136,7 @@ class SwallowMaster:
                 raise ProtocolError(f"scheduling() over unknown coflow {ref.coflow_id}")
             regs.append(reg)
         regs.sort(key=lambda r: self.gamma(r.info) / r.priority_class)
-        tr = self.obs.tracer
+        tr = self.obs.events
         if tr.enabled:
             tr.emit(
                 self._now(),

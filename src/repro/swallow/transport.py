@@ -66,7 +66,7 @@ class MessageBus:
         self._counts[topic] += 1
         if self.obs.metrics.enabled:
             self.obs.metrics.counter(f"bus.messages.{topic}").inc()
-        tr = self.obs.tracer
+        tr = self.obs.events
         if tr.enabled:
             t = self.clock() if self.clock is not None else -1.0
             tr.emit(t, "bus", topic=topic)

@@ -70,7 +70,7 @@ class SwallowWorker:
             free_cores=int(cpu.free_cores(t)[self.node]),
             bandwidth_free=bandwidth_free,
         )
-        tr = self.bus.obs.tracer
+        tr = self.bus.obs.events
         if tr.enabled:
             tr.emit(t, "heartbeat", node=self.node, free_cores=msg.free_cores)
         self.bus.publish("master/measurement", msg)
