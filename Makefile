@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-hotpath bench-sweep bench-bigtrace reproduce examples clean
+.PHONY: install test lint bench bench-hotpath bench-sweep bench-bigtrace bench-stream reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -37,6 +37,13 @@ bench-sweep:
 # bit-identical and the end-to-end speedup clears 3x.
 bench-bigtrace:
 	python -m repro bench --bigtrace --check
+
+# Stream 1M flows through the long-lived scheduler service (tick-by-tick
+# admission, bounded in-flight window, incremental drain), append to
+# BENCH_stream.json, and fail unless every flow retires, memory stays
+# backlog-bounded, and steady-state throughput clears the floor.
+bench-stream:
+	python -m repro serve --bench --check
 
 reproduce:
 	python -m repro reproduce

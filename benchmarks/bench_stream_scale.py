@@ -1,0 +1,78 @@
+"""Streaming-service benchmark — the tracked ``BENCH_stream.json``.
+
+Streams a ≥1M-flow synthetic arrival process through the long-lived
+service driver (:mod:`repro.service`): tick-by-tick admission under a
+bounded in-flight window, incremental drain of retired coflows, and
+aggregate-only accounting.  :mod:`repro.analysis.streambench` measures
+the two service claims — steady-state throughput (flows retired per
+wall-second over the back half of the stream) and bounded memory (peak
+engine rows as a fraction of the stream, RSS growth between the 25% mark
+and the end) — and appends them to the ``BENCH_stream.json`` trajectory
+at the repo root.
+
+Run directly (appends an entry and prints the summary)::
+
+    PYTHONPATH=src python benchmarks/bench_stream_scale.py [--label tag]
+
+or via the CLI wrapper / make target::
+
+    python -m repro serve --bench --check
+    make bench-stream
+
+``--smoke`` streams a seconds-scale case of the same shape (used by CI):
+it still spans many ticks and exercises backpressure and drains, but its
+throughput says nothing about the tracked floors, so nothing is appended.
+"""
+
+import argparse
+import json
+import sys
+
+import pytest
+
+from repro.analysis import streambench
+
+
+@pytest.mark.slow
+def test_stream_smoke_bounded_and_complete():
+    """The smoke stream retires every flow with backlog-bounded memory."""
+    case = streambench.SMOKE_CASE
+    entry = streambench.bench_entry(repeats=1, label="pytest-guard", case=case)
+    streambench.check_entry(entry, case=case)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--label", default="")
+    parser.add_argument(
+        "--out", default=None,
+        help="trajectory file (default: BENCH_stream.json at repo root)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale CI case: verify bounded memory and "
+             "completeness, do not append to the trajectory file",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="record the entry without asserting the floors",
+    )
+    args = parser.parse_args(argv)
+
+    case = streambench.SMOKE_CASE if args.smoke else streambench.CASE
+    entry = streambench.bench_entry(
+        repeats=args.repeats, label=args.label, case=case
+    )
+    print(json.dumps(entry, indent=2))
+    if not args.smoke:
+        path = args.out or streambench.default_stream_path()
+        streambench.append_entry(path, entry, schema=streambench.SCHEMA)
+        print(f"appended to {path}")
+    if not args.no_check:
+        streambench.check_entry(entry, case=case)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,15 +61,18 @@ def _aggregate(snapshots) -> Dict[str, Any]:
         "wall_s": round(wall, 6),
         "cpu_s": round(cpu, 6),
         "decisions": int(decisions),
+        # Explicit nulls, not 0.0: a cell with zero decisions (empty
+        # workload, or metrics disabled) has no latency to average, and
+        # "0us" would read as a measurement.
         "decision_latency_mean_s": (
             float(latency["sum"]) / int(latency["count"])
-            if latency.get("count") else 0.0
+            if latency.get("count") else None
         ),
         "bytes_sent": float(_metric(reg_dump, "engine.bytes_sent")),
         "flow_completions": int(_metric(reg_dump, "engine.flow_completions")),
         "core_claims": int(claims),
         "core_claims_per_decision": (
-            float(claims) / float(decisions) if decisions else 0.0
+            float(claims) / float(decisions) if decisions else None
         ),
         "recorder_records": records,
         "metrics": reg_dump,
@@ -105,7 +108,11 @@ def build_report(
         "cached_cells": telemetry.cached_cells,
         "workers": telemetry.workers,
         "wall_s": round(telemetry.wall_s, 6),
-        "skew": round(telemetry.skew(), 4),
+        # An all-cache-hit sweep executes nothing: no snapshots, no load
+        # to balance — skew is undefined, not 0x.
+        "skew": (
+            round(telemetry.skew(), 4) if telemetry.snapshots else None
+        ),
         "cache": {
             "hits": telemetry.cache_hits,
             "misses": telemetry.cache_misses,
@@ -115,6 +122,11 @@ def build_report(
         "policies": per_policy,
         "workers_detail": workers_detail,
     }
+
+
+def _fmt(value, spec: str, suffix: str = "") -> str:
+    """Format a possibly-null report field (``None`` renders as n/a)."""
+    return "n/a" if value is None else f"{value:{spec}}{suffix}"
 
 
 def render_report(report: Dict[str, Any]) -> str:
@@ -129,9 +141,13 @@ def render_report(report: Dict[str, Any]) -> str:
                 str(p["cells"]),
                 f"{p['wall_s']:.2f}s",
                 str(p["decisions"]),
-                f"{p['decision_latency_mean_s'] * 1e6:.0f}us",
+                _fmt(
+                    None if p["decision_latency_mean_s"] is None
+                    else p["decision_latency_mean_s"] * 1e6,
+                    ".0f", "us",
+                ),
                 f"{p['bytes_sent']:.3g}",
-                f"{p['core_claims_per_decision']:.2f}",
+                _fmt(p["core_claims_per_decision"], ".2f"),
             ]
             for policy, p in report["policies"].items()
         ],
@@ -156,7 +172,10 @@ def render_report(report: Dict[str, Any]) -> str:
                 ]
                 for pid, w in report["workers_detail"].items()
             ],
-            title=f"worker load (skew {report['skew']:.2f}x max/mean)",
+            title=(
+                "worker load "
+                f"(skew {_fmt(report['skew'], '.2f', 'x')} max/mean)"
+            ),
         ))
     cache = report["cache"]
     total = cache["hits"] + cache["misses"]

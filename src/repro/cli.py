@@ -35,6 +35,14 @@ Subcommands
     merged run report (per-policy decision latency, bytes sent,
     compression core claims, worker skew, cache effectiveness), writing
     the machine-readable ``report.json`` alongside.
+``serve``
+    Run the long-lived streaming scheduler service (:mod:`repro.service`):
+    coflows arrive from a synthetic generator or a JSONL trace/stdin,
+    are admitted tick by tick under bounded in-flight backpressure, and
+    retired results drain to ``.npz`` shards so memory stays bounded.
+    ``--checkpoint``/``--resume`` snapshot and restore the live service;
+    ``--smoke`` is the CI checkpoint/restore identity check and
+    ``--bench`` the tracked ``BENCH_stream.json`` 1M-flow replay.
 
 Examples::
 
@@ -53,6 +61,12 @@ Examples::
     python -m repro sweep --bench --check
     python -m repro report --workers 4 --out report.json
     python -m repro report --smoke
+    python -m repro serve --rate 200 --mode bursty --coflows 5000
+    python -m repro serve --input trace.jsonl --spill-dir shards/
+    python -m repro serve --ticks 50 --checkpoint svc.npz
+    python -m repro serve --resume svc.npz
+    python -m repro serve --smoke
+    python -m repro serve --bench --check
 """
 
 from __future__ import annotations
@@ -580,6 +594,206 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming scheduler service against an arrival stream."""
+    import json as _json
+
+    from repro.obs import Observability
+    from repro.service import SourceSpec, StreamDriver, restore_driver
+
+    if args.bench:
+        return _serve_bench(args)
+    if args.smoke:
+        return _serve_smoke(args)
+
+    obs = Observability(trace=False, metrics=True)
+    if args.resume:
+        driver = restore_driver(
+            args.resume,
+            obs=obs,
+            spill_dir=args.spill_dir,
+            keep_shards=args.spill_dir is None,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every_ticks=args.checkpoint_every,
+        )
+        print(f"resumed from {args.resume} at t={driver.sim.now:.2f}s "
+              f"({driver.stats.coflows_done} coflows already done)")
+    else:
+        limit = args.coflows
+        if args.input is None and limit is None and args.flows is None and args.ticks is None:
+            limit = 1000  # an unbounded synthetic stream needs *some* bound
+        if args.input is not None:
+            spec = SourceSpec(kind="jsonl", path=args.input, limit=limit)
+        else:
+            spec = SourceSpec(
+                rate=args.rate,
+                num_ports=args.ports,
+                width=(1, args.max_width),
+                seed=args.seed,
+                mode=args.mode,
+                limit=limit,
+            )
+        setup = ExperimentSetup(
+            num_ports=args.ports,
+            bandwidth=parse_bandwidth(args.bandwidth),
+            slice_len=args.slice,
+        )
+        sim = setup.build_simulator(make_scheduler(args.policy), obs=obs)
+        driver = StreamDriver(
+            sim,
+            spec.build(),
+            tick=args.tick,
+            max_in_flight=args.max_in_flight,
+            drain_every=args.drain_every,
+            spill_dir=args.spill_dir,
+            keep_shards=args.spill_dir is None,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every_ticks=args.checkpoint_every,
+            setup=setup,
+            source_spec=spec,
+            policy=args.policy,
+        )
+    stats = driver.run(max_ticks=args.ticks, max_flows=args.flows)
+    rows = [
+        ["coflows done", str(stats.coflows_done)],
+        ["flows done", str(stats.flows_done)],
+        ["avg FCT", seconds_to_human(stats.avg_fct)],
+        ["avg CCT", seconds_to_human(stats.avg_cct)],
+        ["traffic saved", f"{stats.traffic_reduction * 100:.1f}%"],
+        ["restamped (backpressure)", str(stats.restamped)],
+        ["peak in-flight flows", str(stats.peak_in_flight)],
+        ["peak engine rows", str(stats.peak_live_rows)],
+        ["ticks / drains", f"{stats.ticks} / {stats.drains}"],
+        ["simulated time", seconds_to_human(driver.sim.now)],
+        ["wall", f"{stats.wall_s:.2f}s"],
+        ["throughput", f"{stats.flows_done / stats.wall_s:,.0f} flows/s"
+         if stats.wall_s else "n/a"],
+    ]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"serve — {driver.policy} @ tick {driver.tick}s",
+    ))
+    if driver.shard_paths:
+        print(f"{len(driver.shard_paths)} result shards -> {driver.spill_dir}")
+    if args.checkpoint and driver.sim.pending:
+        driver.checkpoint(args.checkpoint)
+        print(f"checkpoint (resumable) -> {args.checkpoint}")
+    if args.report:
+        report = driver.telemetry_report(label=args.label or "serve")
+        Path(args.report).write_text(_json.dumps(report, indent=2) + "\n")
+        print(f"report written -> {args.report}")
+    return 0
+
+
+def _serve_smoke(args: argparse.Namespace) -> int:
+    """`serve --smoke`: bounded 10k-flow stream + checkpoint/restore
+    round trip, asserting bit-identical downstream results."""
+    import tempfile
+
+    from repro.core.results import concat_stores
+    from repro.service import SourceSpec, StreamDriver, restore_driver
+    from repro.traces.distributions import LogNormalSizes
+    from repro.units import KB
+
+    total_flows = args.flows or 10_000
+    spec = SourceSpec(
+        rate=500.0,
+        num_ports=8,
+        width=2,
+        size_dist=LogNormalSizes(median=50 * KB, sigma=1.0),
+        seed=11,
+        limit=total_flows // 2,
+    )
+    setup = ExperimentSetup(
+        num_ports=8, bandwidth=parse_bandwidth("1gbps"), slice_len=0.05
+    )
+
+    def fresh() -> StreamDriver:
+        sim = setup.build_simulator(make_scheduler(args.policy))
+        return StreamDriver(
+            sim, spec.build(), tick=0.5, max_in_flight=2_000,
+            setup=setup, source_spec=spec, policy=args.policy,
+        )
+
+    a = fresh()
+    stats_a = a.run()
+    store_a = a.result_store()
+
+    b = fresh()
+    b.run(max_ticks=max(1, stats_a.ticks // 2))
+    with tempfile.TemporaryDirectory() as tmp:
+        ck = str(Path(tmp) / "serve-smoke.npz")
+        b.checkpoint(ck)
+        pre_shards = list(b.shards)
+        b2 = restore_driver(ck)
+        stats_b = b2.run()
+    store_b = concat_stores(pre_shards + b2.shards)
+
+    content_flow = ("src", "dst", "size", "arrival", "start", "finish",
+                    "finish_phys", "bytes_sent", "comp_in", "comp_out")
+    content_cf = ("cf_arrival", "cf_finish", "cf_finish_phys", "cf_size",
+                  "cf_width", "cf_bytes_sent")
+    mismatch = [
+        name
+        for name in content_flow + content_cf
+        if not np.array_equal(getattr(store_a, name), getattr(store_b, name))
+    ]
+    if list(store_a.cf_label) != list(store_b.cf_label):
+        mismatch.append("cf_label")
+    bounded = stats_a.peak_live_rows <= 4 * 2_000  # backlog-sized, not stream-sized
+    print(
+        f"serve smoke: {stats_a.flows_done} flows, {stats_a.coflows_done} "
+        f"coflows | restamped {stats_a.restamped} | peak rows "
+        f"{stats_a.peak_live_rows} (bounded: {bounded}) | resume at tick "
+        f"{max(1, stats_a.ticks // 2)}/{stats_a.ticks} | identical: "
+        f"{not mismatch}"
+    )
+    if mismatch or stats_a.flows_done != total_flows or not bounded \
+            or stats_b.flows_done != stats_a.flows_done:
+        if mismatch:
+            print(f"error: columns differ after restore: {mismatch}",
+                  file=sys.stderr)
+        else:
+            print("error: smoke stream incomplete or unbounded", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
+    """`serve --bench`: the tracked BENCH_stream.json streamed replay."""
+    from repro.analysis import streambench
+
+    case = streambench.SMOKE_CASE if args.smoke else streambench.CASE
+    entry = streambench.bench_entry(label=args.label, case=case)
+    rows = [
+        ["flows streamed", f"{entry['flows_done']:,}"],
+        ["wall", f"{entry['wall_s']:.2f}s"],
+        ["throughput", f"{entry['throughput_flows_per_s']:,.0f} flows/s"],
+        ["steady-state", f"{entry['steady_flows_per_s']:,.0f} flows/s"],
+        ["peak engine rows", f"{entry['peak_live_rows']:,} "
+         f"({entry['live_row_fraction']:.1%} of stream)"],
+        ["RSS growth 25%→end", f"{entry['rss_growth']:.3f}x"
+         if entry["rss_25_kb"] else "n/a (/proc unavailable)"],
+    ]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"stream scaling — {entry['label']}, "
+              f"{entry['ticks']} ticks",
+    ))
+    if not args.smoke and not args.dry_run:
+        out = Path(args.out) if args.out else streambench.default_stream_path()
+        streambench.append_entry(out, entry, schema=streambench.SCHEMA)
+        print(f"trajectory appended -> {out}")
+    if args.check:
+        try:
+            streambench.check_entry(entry, case=case)
+        except AssertionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print("stream check passed (throughput + bounded memory)")
+    return 0
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterConfig, ClusterSimulator, hibench_suite
 
@@ -773,6 +987,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="report.json",
                    help="report output path (default report.json)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "serve", help="long-lived streaming scheduler service"
+    )
+    p.add_argument("--policy", default="fvdf",
+                   help="scheduling policy (see `schedulers`)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="mean coflow arrival rate (synthetic source)")
+    p.add_argument("--mode", choices=["steady", "bursty", "diurnal"],
+                   default="steady", help="synthetic arrival process")
+    p.add_argument("--coflows", type=int, default=None,
+                   help="stop the source after N coflows")
+    p.add_argument("--flows", type=int, default=None,
+                   help="stop admitting after ~N flows, then run the backlog")
+    p.add_argument("--ticks", type=int, default=None,
+                   help="stop after N service ticks (checkpoint to continue)")
+    p.add_argument("--ports", type=int, default=16)
+    p.add_argument("--max-width", type=int, default=8)
+    p.add_argument("--bandwidth", default="1gbps")
+    p.add_argument("--slice", type=float, default=0.01)
+    p.add_argument("--tick", type=float, default=1.0,
+                   help="service tick length in simulated seconds")
+    p.add_argument("--max-in-flight", type=int, default=10_000,
+                   help="backpressure bound on submitted-but-unfinished flows")
+    p.add_argument("--drain-every", type=int, default=1,
+                   help="drain retired coflows every N ticks (0 = never)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--input", default=None, metavar="JSONL",
+                   help="read coflows from a JSONL trace ('-' for stdin) "
+                        "instead of the synthetic source")
+    p.add_argument("--spill-dir", default=None,
+                   help="write drained result shards as .npz files here")
+    p.add_argument("--checkpoint", default=None, metavar="NPZ",
+                   help="checkpoint path (written at exit when work remains, "
+                        "and periodically with --checkpoint-every)")
+    p.add_argument("--checkpoint-every", type=int, default=None, metavar="TICKS")
+    p.add_argument("--resume", default=None, metavar="NPZ",
+                   help="resume from a checkpoint written by --checkpoint")
+    p.add_argument("--report", default=None, metavar="JSON",
+                   help="write a repro-report-v1 telemetry report here")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI check: 10k-flow stream with a mid-stream "
+                        "checkpoint/restore round trip (bit-identical)")
+    p.add_argument("--bench", action="store_true",
+                   help="tracked BENCH_stream.json 1M-flow replay "
+                        "(with --smoke: the seconds-scale case, no append)")
+    p.add_argument("--check", action="store_true",
+                   help="with --bench: assert throughput/memory floors")
+    p.add_argument("--label", default="")
+    p.add_argument("--out", default=None,
+                   help="with --bench: trajectory file to append to")
+    p.add_argument("--dry-run", action="store_true",
+                   help="with --bench: do not append to the trajectory")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("cluster", help="HiBench cluster run with/without Swallow")
     p.add_argument("--scale", default="large", choices=["large", "huge", "gigantic"])

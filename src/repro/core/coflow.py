@@ -21,6 +21,25 @@ def _next_coflow_id() -> int:
     return next(_coflow_ids)
 
 
+def ensure_coflow_ids_above(value: int) -> None:
+    """Advance the global coflow-id counter past ``value``.
+
+    Mirror of :func:`repro.core.flow.ensure_flow_ids_above`, for coflows
+    restored from a checkpoint with explicit ids.
+    """
+    global _coflow_ids
+    nxt = next(_coflow_ids)
+    _coflow_ids = itertools.count(max(nxt, int(value) + 1))
+
+
+def coflow_id_watermark() -> int:
+    """The next coflow id that would be assigned (without consuming it)."""
+    global _coflow_ids
+    nxt = next(_coflow_ids)
+    _coflow_ids = itertools.count(nxt)
+    return nxt
+
+
 @dataclass
 class Coflow:
     """A coflow: flows that belong to the same computing stage.

@@ -31,6 +31,26 @@ def _next_flow_id() -> int:
     return next(_flow_ids)
 
 
+def ensure_flow_ids_above(value: int) -> None:
+    """Advance the global flow-id counter past ``value``.
+
+    Checkpoint restore (:mod:`repro.service.checkpoint`) brings flows with
+    explicit ids into a process whose counter may lag behind them; bumping
+    the counter keeps ids of subsequently created flows unique.
+    """
+    global _flow_ids
+    nxt = next(_flow_ids)
+    _flow_ids = itertools.count(max(nxt, int(value) + 1))
+
+
+def flow_id_watermark() -> int:
+    """The next flow id that would be assigned (without consuming it)."""
+    global _flow_ids
+    nxt = next(_flow_ids)
+    _flow_ids = itertools.count(nxt)
+    return nxt
+
+
 @dataclass
 class Flow:
     """A single flow of a coflow.

@@ -33,7 +33,21 @@ import numpy as np
 from repro.core.coflow import CoflowResult
 from repro.core.flow import FlowResult
 
-__all__ = ["ResultStore", "LazyFlowResults", "LazyCoflowResults"]
+__all__ = [
+    "ResultStore", "LazyFlowResults", "LazyCoflowResults", "concat_stores",
+]
+
+#: Per-flow array columns, in flow (retirement) order.
+_FLOW_FIELDS = (
+    "flow_id", "coflow_id", "src", "dst", "size", "arrival", "start",
+    "finish", "finish_phys", "bytes_sent", "comp_in", "comp_out",
+)
+
+#: Per-coflow array columns, in close order.
+_CF_FIELDS = (
+    "cf_id", "cf_arrival", "cf_finish", "cf_finish_phys", "cf_size",
+    "cf_width", "cf_bytes_sent",
+)
 
 
 class ResultStore:
@@ -163,6 +177,99 @@ class ResultStore:
             flow_results=members,
             deadline=self.cf_deadline[k],
         )
+
+    # ------------------------------------------------------------ NPZ spill
+    def save_npz(self, path) -> None:
+        """Write the store to ``path`` as a compressed ``.npz`` shard.
+
+        Everything is encoded as plain arrays (labels as a unicode array,
+        deadlines as NaN-for-None floats), so the file round-trips with
+        ``allow_pickle=False``.  Used by the streaming service to spill
+        drained result shards to disk.
+        """
+        payload = {name: getattr(self, name) for name in _FLOW_FIELDS}
+        payload.update({name: getattr(self, name) for name in _CF_FIELDS})
+        payload["cf_member_perm"] = self.cf_member_perm
+        payload["cf_member_starts"] = self.cf_member_starts
+        labels = np.asarray(self.cf_label, dtype=np.str_)
+        if labels.dtype.itemsize == 0:  # all labels empty: '<U0' won't save
+            labels = labels.astype("<U1")
+        payload["cf_label"] = labels
+        payload["cf_deadline"] = np.asarray(
+            [np.nan if d is None else float(d) for d in self.cf_deadline],
+            dtype=np.float64,
+        )
+        payload["decompress_speed"] = np.asarray(
+            [0.0, 0.0]
+            if self.decompress_speed is None
+            else [1.0, float(self.decompress_speed)],
+            dtype=np.float64,
+        )
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load_npz(cls, path) -> "ResultStore":
+        """Load a :meth:`save_npz` shard back into a store."""
+        with np.load(path, allow_pickle=False) as data:
+            kw = {name: data[name] for name in _FLOW_FIELDS}
+            kw.update({name: data[name] for name in _CF_FIELDS})
+            kw["cf_member_perm"] = data["cf_member_perm"].astype(
+                np.intp, copy=False
+            )
+            kw["cf_member_starts"] = data["cf_member_starts"].astype(
+                np.intp, copy=False
+            )
+            kw["cf_label"] = [str(x) for x in data["cf_label"]]
+            kw["cf_deadline"] = [
+                None if np.isnan(d) else float(d) for d in data["cf_deadline"]
+            ]
+            has_speed, speed = data["decompress_speed"]
+            kw["decompress_speed"] = float(speed) if has_speed else None
+        return cls(**kw)
+
+
+def concat_stores(stores: Sequence[ResultStore]) -> ResultStore:
+    """Concatenate result shards into one store.
+
+    Flow columns append in shard order (shards hold disjoint flows in
+    retirement order, so the result is a valid retirement-ordered store);
+    coflow columns likewise.  Member permutations are offset by the
+    preceding shards' flow counts, member starts by their member counts.
+    An empty input yields an empty store.
+    """
+    stores = [s for s in stores if s is not None]
+    if not stores:
+        raise ValueError("concat_stores needs at least one store")
+    if len(stores) == 1:
+        return stores[0]
+    kw = {
+        name: np.concatenate([getattr(s, name) for s in stores])
+        for name in _FLOW_FIELDS + _CF_FIELDS
+    }
+    perms = []
+    starts = [np.zeros(1, dtype=np.intp)]
+    flow_off = 0
+    member_off = 0
+    for s in stores:
+        perms.append(s.cf_member_perm + flow_off)
+        starts.append(s.cf_member_starts[1:] + member_off)
+        flow_off += s.n_flows
+        member_off += int(s.cf_member_starts[-1])
+    kw["cf_member_perm"] = np.concatenate(perms).astype(np.intp, copy=False)
+    kw["cf_member_starts"] = np.concatenate(starts).astype(
+        np.intp, copy=False
+    )
+    kw["cf_label"] = [x for s in stores for x in s.cf_label]
+    kw["cf_deadline"] = [x for s in stores for x in s.cf_deadline]
+    speeds = {
+        s.decompress_speed for s in stores if s.decompress_speed is not None
+    }
+    if len(speeds) > 1:
+        raise ValueError(
+            f"shards disagree on decompress_speed: {sorted(speeds)}"
+        )
+    kw["decompress_speed"] = speeds.pop() if speeds else None
+    return ResultStore(**kw)
 
 
 class _LazySeq(Sequence):

@@ -56,6 +56,34 @@ DEFAULT_SLICE = 0.01
 
 _PENDING, _ACTIVE, _DONE, _CANCELLED = 0, 1, 2, 3
 
+#: Growable SoA flow columns (order mirrors the ``__init__`` assignments).
+_FLOW_COLS = (
+    "_src", "_dst", "_size", "_arrival", "_compressible", "_coflow_of",
+    "_flow_id", "_raw", "_comp", "_xi", "_bytes_sent", "_comp_in",
+    "_comp_out", "_start", "_finish", "_finish_phys", "_state",
+    "_slot_of", "_done_seq",
+)
+
+#: Dense per-coflow slot columns.
+_CF_COLS = (
+    "_cf_id", "_cf_arrival", "_cf_remaining", "_cf_finish",
+    "_cf_finish_phys", "_cf_first", "_cf_count", "_cf_size", "_cf_bytes",
+)
+
+
+def _time_eps(t: float) -> float:
+    """Comparison tolerance for simulated-time instants near ``t``.
+
+    An absolute ``1e-12`` underflows double precision once ``t`` grows
+    past a few thousand seconds (one ulp of 1e9 is already ~1.2e-7), so
+    horizon/resume comparisons at large simulated times would silently
+    become exact equality and a resume tick could double-fire a boundary
+    slice.  A few ulps of ``t`` track float resolution at any magnitude
+    while staying far below any slice length; the 1e-12 floor preserves
+    the historical behaviour at small times.
+    """
+    return max(1e-12, 8.0 * math.ulp(abs(t)))
+
 
 class SimulationResult:
     """Everything a run produced.
@@ -427,12 +455,7 @@ class SliceSimulator:
         if need <= self._cap:
             return
         new_cap = max(64, self._cap * 2, need)
-        for name in (
-            "_src", "_dst", "_size", "_arrival", "_compressible", "_coflow_of",
-            "_flow_id", "_raw", "_comp", "_xi", "_bytes_sent", "_comp_in",
-            "_comp_out", "_start", "_finish", "_finish_phys", "_state",
-            "_slot_of", "_done_seq",
-        ):
+        for name in _FLOW_COLS:
             old = getattr(self, name)
             arr = np.zeros(new_cap, dtype=old.dtype)
             arr[: self._n] = old[: self._n]
@@ -444,11 +467,7 @@ class SliceSimulator:
         if need <= self._cf_cap:
             return
         new_cap = max(16, self._cf_cap * 2, need)
-        for name in (
-            "_cf_id", "_cf_arrival", "_cf_remaining", "_cf_finish",
-            "_cf_finish_phys", "_cf_first", "_cf_count", "_cf_size",
-            "_cf_bytes",
-        ):
+        for name in _CF_COLS:
             old = getattr(self, name)
             arr = np.zeros(new_cap, dtype=old.dtype)
             arr[: self._n_cf] = old[: self._n_cf]
@@ -470,6 +489,20 @@ class SliceSimulator:
     def active_flows(self) -> int:
         """Number of currently active flows (the hot-path working-set size)."""
         return int(self._active.size)
+
+    @property
+    def retired_flows(self) -> int:
+        """Cumulative count of flows that have finished, across the whole
+        run — including rows already evicted by :meth:`drain_retired`.
+        ``submitted - retired_flows`` is the in-flight backlog a streaming
+        driver throttles on."""
+        return int(self._done_total)
+
+    @property
+    def live_rows(self) -> int:
+        """Rows currently held in the columnar store (the engine's memory
+        footprint); shrinks when :meth:`drain_retired` compacts."""
+        return int(self._n)
 
     def on_coflow_complete(self, fn: Callable[[CoflowResult], None]) -> None:
         """Register a completion callback (used by the cluster simulator)."""
@@ -498,7 +531,7 @@ class SliceSimulator:
         coflows = list(coflows)
         seen_batch = set()
         for coflow in coflows:
-            if coflow.arrival < self.now - 1e-12:
+            if coflow.arrival < self.now - _time_eps(self.now):
                 raise ConfigurationError(
                     f"coflow {coflow.coflow_id} arrives at {coflow.arrival} "
                     f"but the simulation is already at {self.now}"
@@ -640,7 +673,7 @@ class SliceSimulator:
         """
         if side not in ("ingress", "egress"):
             raise ConfigurationError(f"side must be ingress/egress, got {side!r}")
-        if time < self.now - 1e-12:
+        if time < self.now - _time_eps(self.now):
             raise ConfigurationError(
                 f"capacity change at {time} is in the past (now={self.now})"
             )
@@ -652,7 +685,9 @@ class SliceSimulator:
         applied = False
         tr = self.obs.tracer
         flt = self.obs.recorder
-        while self._cap_events and self._cap_events[0][0] <= self.now + 1e-12:
+        while self._cap_events and (
+            self._cap_events[0][0] <= self.now + _time_eps(self.now)
+        ):
             _, side, port, cap = heapq.heappop(self._cap_events)
             getattr(self.fabric, side).set_capacity(port, cap)
             if tr.enabled:
@@ -676,12 +711,19 @@ class SliceSimulator:
             if self._active.size == 0:
                 nxt = self._next_arrival()
                 if nxt is None:
+                    # Nothing to do, but ``run(until=t)`` still means "the
+                    # clock reaches t": an idle engine must advance so an
+                    # incremental caller's horizon keeps moving (a streaming
+                    # driver waiting out an arrival gap would otherwise spin
+                    # on a frozen ``now`` forever).
+                    if until is not None:
+                        self._jump_to(until)
                     break
                 if until is not None and nxt > until:
                     self._jump_to(until)
                     break
                 self._jump_to(nxt)
-            if until is not None and self.now >= until - 1e-12:
+            if until is not None and self.now >= until - _time_eps(until):
                 break
 
             arrived = self._activate_due()
@@ -788,14 +830,24 @@ class SliceSimulator:
         resumes toward a later horizon (``run(until=...)`` incremental
         use) and retires more flows afterwards.
         """
+        return self._build_store(self._done_concat(), self._closed_concat())
+
+    def _done_concat(self) -> np.ndarray:
         if self._done_chunks:
-            flows = np.concatenate(self._done_chunks)
-        else:
-            flows = np.empty(0, dtype=np.intp)
+            return np.concatenate(self._done_chunks)
+        return np.empty(0, dtype=np.intp)
+
+    def _closed_concat(self) -> np.ndarray:
         if self._closed_chunks:
-            closed = np.concatenate(self._closed_chunks)
-        else:
-            closed = np.empty(0, dtype=np.intp)
+            return np.concatenate(self._closed_chunks)
+        return np.empty(0, dtype=np.intp)
+
+    def _build_store(self, flows: np.ndarray, closed: np.ndarray) -> ResultStore:
+        """Freeze the given retired flows / closed coflow slots.
+
+        ``flows`` are global flow indices in retirement order; ``closed``
+        are coflow slots in close order.  Every gather copies.
+        """
         # Member segmentation: for each closed coflow (close order), the
         # flat flow positions of its members in retirement order — what
         # the eager per-coflow accumulation lists used to hold.
@@ -846,10 +898,228 @@ class SliceSimulator:
             cf_member_starts=member_starts,
         )
 
+    # ----------------------------------------------------- streaming service
+    def drain_retired(self) -> ResultStore:
+        """Snapshot-and-evict the results of every *terminal* coflow.
+
+        Terminal means closed (all member flows finished) or cancelled.
+        The returned store holds those coflows' results (plus the retired
+        flows of cancelled coflows, exactly as a batch snapshot would);
+        their rows are then evicted from the live columns, so repeated
+        draining keeps the engine's working set proportional to the *live*
+        flow count instead of the total ingested — the contract the
+        streaming service (``repro serve``) relies on over an unbounded
+        arrival stream.
+
+        Retired flows of still-open coflows are withheld until their
+        coflow closes, so consecutive drains partition the results:
+        concatenating every drained shard plus a final ``result().store``
+        yields exactly one record per flow and per coflow.
+
+        Call between :meth:`run` calls.  Batch users never need this.
+        """
+        n, n_cf = self._n, self._n_cf
+        closed = self._closed_concat()
+        evict_slot = np.zeros(n_cf, dtype=bool)
+        evict_slot[closed] = True
+        for cid in self._cancelled:
+            rec = self._coflows.get(cid)
+            if rec is not None:
+                evict_slot[rec.slot] = True
+        done = self._done_concat()
+        if done.size:
+            drain_mask = evict_slot[self._slot_of[done]]
+        else:
+            drain_mask = np.empty(0, dtype=bool)
+        store = self._build_store(done[drain_mask], closed)
+        if not evict_slot.any():
+            self._done_chunks = [done] if done.size else []
+            self._closed_chunks = []
+            return store
+        held = done[~drain_mask]
+
+        keep_slot = ~evict_slot
+        keep_flow = keep_slot[self._slot_of[:n]]
+        new_of_flow = (np.cumsum(keep_flow) - 1).astype(np.intp, copy=False)
+        new_of_slot = (np.cumsum(keep_slot) - 1).astype(np.intp, copy=False)
+        evicted_ids = self._cf_id[:n_cf][evict_slot].tolist()
+
+        # Whole-slot eviction keeps each surviving coflow's flow block
+        # contiguous, so the _cf_first/_cf_count invariant survives the
+        # old->new index remap.
+        for name in _FLOW_COLS:
+            setattr(self, name, getattr(self, name)[:n][keep_flow])
+        self._n = self._cap = int(keep_flow.sum())
+        self._slot_of = new_of_slot[self._slot_of]
+        for name in _CF_COLS:
+            setattr(self, name, getattr(self, name)[:n_cf][keep_slot])
+        self._n_cf = self._cf_cap = int(keep_slot.sum())
+        self._cf_first = new_of_flow[self._cf_first]
+
+        keep_list = keep_slot.tolist()
+        self._cf_labels = [
+            x for x, k in zip(self._cf_labels, keep_list) if k
+        ]
+        self._cf_deadlines = [
+            x for x, k in zip(self._cf_deadlines, keep_list) if k
+        ]
+        self._cf_recs = [
+            r for r, k in zip(self._cf_recs, keep_list) if k
+        ]
+        for slot, rec in enumerate(self._cf_recs):
+            rec.slot = slot
+            rec.global_idx = new_of_flow[rec.global_idx]
+        for cid in evicted_ids:
+            self._coflows.pop(cid, None)
+            self._coflow_arrival.pop(cid, None)
+
+        self._active = new_of_flow[self._active]
+        self._done_chunks = [new_of_flow[held]] if held.size else []
+        self._closed_chunks = []
+        # Cached grouping/scratch reference pre-eviction indices.
+        self._groups_dirty = True
+        self._scratch_raw = np.empty(0, dtype=np.float64)
+        self._scratch_comp = np.empty(0, dtype=np.float64)
+        return store
+
+    def export_state(self) -> dict:
+        """Everything needed to rebuild this simulator elsewhere.
+
+        Array entries come out as copies; Python-object state (the
+        scheduler, live :class:`Coflow` dataclasses, labels) is included
+        by reference — callers serialize it (see
+        :mod:`repro.service.checkpoint`).  Call between :meth:`run`
+        calls only: in-flight core claims are not part of the state
+        (``run`` releases them before returning).
+        """
+        if self._claim_nodes:
+            raise SimulationError(
+                "export_state called inside a decision window "
+                "(core claims outstanding)"
+            )
+        n, n_cf = self._n, self._n_cf
+        return {
+            "slice_len": self.slice_len,
+            "k": self._k,
+            "started": self._started,
+            "decision_points": self._decision_points,
+            "done_total": self._done_total,
+            "n": n,
+            "n_cf": n_cf,
+            "flow_cols": {
+                c: getattr(self, c)[:n].copy() for c in _FLOW_COLS
+            },
+            "cf_cols": {
+                c: getattr(self, c)[:n_cf].copy() for c in _CF_COLS
+            },
+            "active": self._active.copy(),
+            "done_flows": self._done_concat(),
+            "closed_slots": self._closed_concat(),
+            "ingress_bytes": self._ingress_bytes.copy(),
+            "egress_bytes": self._egress_bytes.copy(),
+            "ingress_capacity": self.fabric.ingress.capacity.copy(),
+            "egress_capacity": self.fabric.egress.capacity.copy(),
+            "cancelled": sorted(self._cancelled),
+            "cap_events": sorted(self._cap_events),
+            "cf_labels": list(self._cf_labels),
+            "cf_deadlines": list(self._cf_deadlines),
+            "coflows": [rec.coflow for rec in self._cf_recs],
+            "priority_class": [
+                rec.state.priority_class for rec in self._cf_recs
+            ],
+            "scheduler": self.scheduler,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` payload into this simulator.
+
+        The simulator must be freshly constructed, with the same fabric
+        shape, slice length and scheduler policy as the exporter.  Global
+        flow/coflow id counters are the caller's concern (see
+        :func:`repro.core.flow.ensure_flow_ids_above`).
+        """
+        if self._started or self._n:
+            raise SimulationError("import_state needs a fresh simulator")
+        if abs(state["slice_len"] - self.slice_len) > 1e-15:
+            raise ConfigurationError(
+                f"checkpoint slice_len {state['slice_len']} != "
+                f"simulator slice_len {self.slice_len}"
+            )
+        n, n_cf = int(state["n"]), int(state["n_cf"])
+        self._grow(n)
+        self._cf_grow(n_cf)
+        for c in _FLOW_COLS:
+            getattr(self, c)[:n] = state["flow_cols"][c]
+        self._n = n
+        for c in _CF_COLS:
+            getattr(self, c)[:n_cf] = state["cf_cols"][c]
+        self._n_cf = n_cf
+        self._active = np.asarray(state["active"], dtype=np.intp)
+        done = np.asarray(state["done_flows"], dtype=np.intp)
+        self._done_chunks = [done] if done.size else []
+        closed = np.asarray(state["closed_slots"], dtype=np.intp)
+        self._closed_chunks = [closed] if closed.size else []
+        self._done_total = int(state["done_total"])
+        self._k = int(state["k"])
+        self._started = bool(state["started"])
+        self._decision_points = int(state["decision_points"])
+        self._ingress_bytes = np.asarray(
+            state["ingress_bytes"], dtype=np.float64
+        ).copy()
+        self._egress_bytes = np.asarray(
+            state["egress_bytes"], dtype=np.float64
+        ).copy()
+        for side, caps in (
+            ("ingress", state["ingress_capacity"]),
+            ("egress", state["egress_capacity"]),
+        ):
+            ports = getattr(self.fabric, side)
+            if len(caps) != len(ports.capacity):
+                raise ConfigurationError(
+                    f"checkpoint has {len(caps)} {side} ports, "
+                    f"fabric has {len(ports.capacity)}"
+                )
+            for port, cap in enumerate(caps):
+                if cap != ports.capacity[port]:
+                    ports.set_capacity(port, float(cap))
+        self._cancelled = {int(c) for c in state["cancelled"]}
+        self._cap_events = [tuple(e) for e in state["cap_events"]]
+        heapq.heapify(self._cap_events)
+        self._cf_labels = list(state["cf_labels"])
+        self._cf_deadlines = list(state["cf_deadlines"])
+        self._cf_recs = []
+        self._coflows = {}
+        self._coflow_arrival = {}
+        prio = state["priority_class"]
+        for slot, coflow in enumerate(state["coflows"]):
+            first = int(self._cf_first[slot])
+            count = int(self._cf_count[slot])
+            idx = np.arange(first, first + count, dtype=np.intp)
+            rec = _CoflowRecord(coflow, idx, slot=slot)
+            rec.remaining = int(self._cf_remaining[slot])
+            rec.state.priority_class = prio[slot]
+            self._cf_recs.append(rec)
+            self._coflows[coflow.coflow_id] = rec
+            self._coflow_arrival[coflow.coflow_id] = coflow.arrival
+            if (
+                count
+                and self._state[first] == _PENDING
+                and coflow.coflow_id not in self._cancelled
+            ):
+                self._calendar.push(coflow)
+        self._groups_dirty = True
+
     # ------------------------------------------------------------- internals
     def _jump_to(self, t: float) -> None:
-        """Advance the slice counter to the first boundary >= t."""
-        k = int(math.ceil(t / self.slice_len - 1e-9))
+        """Advance the slice counter to the first boundary >= t.
+
+        The snap tolerance must scale with the quotient: at t=1e9 with
+        δ=0.05 the division already carries ~4e-6 slices of rounding, so
+        an absolute 1e-9 would bump an exactly-on-grid jump one slice
+        past its boundary.
+        """
+        q = t / self.slice_len
+        k = int(math.ceil(q - max(1e-9, 8.0 * math.ulp(abs(q)))))
         self._k = max(self._k, k)
 
     def _next_arrival(self) -> Optional[float]:
@@ -860,7 +1130,7 @@ class SliceSimulator:
     def _activate_due(self) -> List[Coflow]:
         due = [
             c
-            for c in self._calendar.pop_due(self.now + 1e-12)
+            for c in self._calendar.pop_due(self.now + _time_eps(self.now))
             if c.coflow_id not in self._cancelled
         ]
         if not due:
@@ -1182,7 +1452,7 @@ class SliceSimulator:
                 (max(self._cap_events[0][0] - self.now, 0.0), EventKind.CAPACITY)
             )
         if until is not None:
-            candidates.append((until - self.now, EventKind.HORIZON))
+            candidates.append((max(until - self.now, 0.0), EventKind.HORIZON))
         if not candidates:
             raise SimulationError(
                 f"{self.scheduler.name}: no flow transmits or compresses and "
@@ -1190,10 +1460,17 @@ class SliceSimulator:
                 f"(t={self.now:.6g}, {view.num_flows} active flows)"
             )
         dt_min = min(dt for dt, _ in candidates)
-        n = max(1, int(math.ceil(dt_min / self.slice_len - 1e-9)))
-        # Slice-grid epsilon: events within one part in 1e9 of the boundary
-        # are ties, matching the ceil() tolerance above.
-        window = n * self.slice_len * (1.0 + 1e-9)
+        # Slice-grid snap tolerance.  A fixed 1e-9 slices is too tight at
+        # large simulated times: ``dt_min`` is a difference of two big
+        # floats, so its error is ulp-of-now sized (~5e-7 slices at
+        # t=1e9, δ=0.05) and a horizon exactly k slices away would ceil
+        # to k+1, overshooting ``until`` by a whole slice on resume.
+        tol = max(1e-9, _time_eps(self.now) / self.slice_len)
+        n = max(1, int(math.ceil(dt_min / self.slice_len - tol)))
+        # Events within the same tolerance of the boundary are ties.
+        window = n * self.slice_len + max(
+            n * self.slice_len * 1e-9, _time_eps(self.now)
+        )
         kinds = {kind for dt, kind in candidates if dt <= window}
         return n, kinds
 

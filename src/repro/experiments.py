@@ -158,6 +158,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
            ("repro.analysis.bigbench", "repro.core.results",
             "repro.core.reference"),
            "bench_bigtrace_scale.py"),
+        _E("stream", "Streaming-service steady-state replay",
+           "1M flows through the long-lived service driver (tick-batched "
+           "admission, bounded in-flight window, incremental drain); "
+           "appends to BENCH_stream.json and asserts the throughput floor "
+           "and bounded-memory ceilings",
+           ("repro.service", "repro.analysis.streambench"),
+           "bench_stream_scale.py"),
     ]
 }
 

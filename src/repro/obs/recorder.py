@@ -317,6 +317,14 @@ class FlightRecorder:
         Rows arrive in ranking order; the decoded record carries the
         legacy ``units`` payload (``[coflow_id, gamma, p, gamma/p]`` per
         unit, the key recomputed from the stored columns).
+
+        Unlike the per-row streams there is deliberately no ``k == 0``
+        early return: the legacy tracer emits an ``order`` record even
+        when no units are rankable, so an empty batch must journal (and
+        decode to ``units=[]``) to keep the streams record-for-record
+        identical.  Ring drops and buffer compaction must treat these
+        zero-row batches like any other (their ``start`` sits on the
+        dead/live boundary and still gets rebased).
         """
         k = len(coflow_ids)
         rows = self._rows(_ORDER, float(t), k)

@@ -29,12 +29,13 @@ from repro.runner.spec import (
     SUMMARY_METRICS,
     ResultSummary,
     RunSpec,
+    ServeSpec,
     WorkloadSpec,
 )
 from repro.runner.telemetry import RunTelemetry, TelemetrySnapshot
 
 __all__ = [
-    "RunSpec", "WorkloadSpec", "ResultSummary", "RunOutcome",
+    "RunSpec", "ServeSpec", "WorkloadSpec", "ResultSummary", "RunOutcome",
     "run_specs", "execute_spec", "resolve_workers", "usable_cores",
     "ResultCache", "cache_enabled_by_env", "default_cache_root",
     "CACHE_SCHEMA", "SUMMARY_METRICS",

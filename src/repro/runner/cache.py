@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
@@ -131,13 +132,22 @@ class ResultCache:
             return False
         path = self._path(digest, spec.full)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        # A pid-suffixed temp name is NOT unique across threads sharing a
+        # process (in-process pools, nested runners): two writers would
+        # interleave into the same temp file and publish garbage.  mkstemp
+        # gives each writer its own file in the destination directory, so
+        # os.replace stays atomic and same-filesystem.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        tmp = Path(tmp_name)
         try:
             if spec.full:
-                with tmp.open("wb") as fh:
+                with os.fdopen(fd, "wb") as fh:
                     pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
             else:
-                tmp.write_text(json.dumps(payload.to_json()))
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(json.dumps(payload.to_json()))
             os.replace(tmp, path)  # atomic: readers never see partial files
         except Exception:
             try:

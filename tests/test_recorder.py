@@ -412,3 +412,148 @@ class TestNpzRoundtrip:
         again = FlightRecorder.load_npz(tmp_path / "ring.npz")
         assert list(again) == live
         assert again.dropped_batches == ring.dropped_batches
+
+
+# ------------------------------------------------- ring-mode edge cases
+def _journal_invariants(rec):
+    """Every live batch must reference live rows of its stream."""
+    jl = rec._journal
+    jc = jl.cols
+    for i in range(jl.head, jl.n):
+        code = int(jc["stream"][i])
+        a = int(jc["start"][i])
+        b = a + int(jc["count"][i])
+        if code == 10:  # _MISC: starts index the fallback list
+            assert rec._misc_head <= a < len(rec._misc)
+            continue
+        st = rec._streams[code]
+        assert st.head <= a <= b <= st.n, (
+            f"batch {i} of stream {code}: [{a}, {b}) outside "
+            f"live [{st.head}, {st.n})"
+        )
+
+
+class TestRingEdgeCases:
+    """Empty batches and compaction-on-a-boundary must not corrupt the
+    rebased journal: decode must always equal the legacy stream suffix."""
+
+    def test_empty_order_batches_decode_to_empty_units(self):
+        # Tracer parity: fvdf emits an ``order`` record even with no
+        # rankable units, so an empty batch journals one record.
+        rec = FlightRecorder()
+        rec.add_order(0.1, np.array([]), np.array([]), np.array([]))
+        assert list(rec) == [TraceRecord(0.1, "order", {"units": []})]
+        assert rec.counts() == {"order": 1}
+        assert len(rec) == 1
+
+    def test_empty_batches_survive_ring_drops_and_compaction(self):
+        # Interleave empty order batches (start == n, zero rows) with
+        # batches large enough to force both ensure() paths (dead-prefix
+        # compaction and growth) under an aggressive ring bound.
+        rec = FlightRecorder(keep_last=3)
+        expect = []
+        for i in range(40):
+            k = [0, 33, 0, 64][i % 4]
+            rec.add_order(float(i), np.arange(k), np.full(k, 2.0),
+                          np.ones(k))
+            expect.append(TraceRecord(
+                float(i), "order",
+                {"units": [[int(j), 2.0, 1.0, 2.0] for j in range(k)]},
+            ))
+            _journal_invariants(rec)
+        got = list(rec)
+        assert got == expect[rec.dropped_records:]
+        assert len(rec) == len(got) == 3
+
+    def test_compaction_exactly_on_batch_boundary(self):
+        # Batch sizes chosen so drops leave the dead prefix ending
+        # exactly at a batch start and appends exactly fill the 64-row
+        # initial buffer; enumerate alignments exhaustively.
+        import itertools
+
+        sizes = (0, 16, 33, 64)
+        for keep in (1, 2):
+            for seq in itertools.product(sizes, repeat=4):
+                rec = FlightRecorder(keep_last=keep)
+                expect = []
+                for t, k in enumerate(seq):
+                    rec.add_order(float(t), np.arange(k),
+                                  np.full(k, 2.0), np.ones(k))
+                    expect.append(TraceRecord(
+                        float(t), "order",
+                        {"units": [[int(j), 2.0, 1.0, 2.0]
+                                   for j in range(k)]},
+                    ))
+                    _journal_invariants(rec)
+                assert list(rec) == expect[rec.dropped_records:], (
+                    f"keep={keep} seq={seq}"
+                )
+
+    def test_ring_decode_matches_tracer_suffix_fuzz(self):
+        # Mixed-stream fuzz: per-row, batch-record, scalar, and fallback
+        # appends mirrored against the records a Tracer would hold, with
+        # the ring dropping most of the stream.
+        import random
+
+        def one(rec, expect, op, t, rng):
+            if op == "arrival":
+                k = rng.choice([0, 1, 17])
+                rec.add_arrivals(t, list(range(k)), [2] * k)
+                expect.extend(
+                    TraceRecord(t, "arrival", {"coflow_id": i, "n_flows": 2})
+                    for i in range(k)
+                )
+            elif op == "order":
+                k = rng.choice([0, 0, 9])
+                rec.add_order(t, np.arange(k), np.full(k, 2.0), np.ones(k))
+                expect.append(TraceRecord(
+                    t, "order",
+                    {"units": [[int(i), 2.0, 1.0, 2.0] for i in range(k)]},
+                ))
+            elif op == "decision":
+                rec.add_decision(t, {EventKind.START}, 3, 1)
+                expect.append(TraceRecord(
+                    t, "decision",
+                    {"kinds": {EventKind.START}, "n_flows": 3,
+                     "n_coflows": 1},
+                ))
+            elif op == "misc":
+                rec.emit(t, "heartbeat", x=int(t))
+                expect.append(TraceRecord(t, "heartbeat", {"x": int(t)}))
+            else:  # flow completions
+                k = rng.choice([0, 11])
+                rec.add_flow_completions(t, np.arange(k), np.arange(k))
+                expect.extend(
+                    TraceRecord(t, "completion",
+                                {"flow_id": i, "coflow_id": i})
+                    for i in range(k)
+                )
+
+        ops = ["arrival", "order", "decision", "misc", "flow"]
+        for seed in range(25):
+            rng = random.Random(seed)
+            rec = FlightRecorder(keep_last=rng.choice([1, 2, 5, 20]))
+            expect = []
+            for s in range(rng.choice([8, 60, 400])):
+                one(rec, expect, rng.choice(ops), float(s), rng)
+            got = list(rec)
+            assert got == expect[rec.dropped_records:], f"seed={seed}"
+            assert sum(rec.counts().values()) == len(got)
+            _journal_invariants(rec)
+
+    def test_misc_journal_compaction_crossing(self, tmp_path):
+        # The fallback list compacts once 1024 dead records accumulate;
+        # decode, counts, and the NPZ round-trip must all survive the
+        # crossing (and the list must stay bounded).
+        rec = FlightRecorder(keep_last=3)
+        expect = []
+        for i in range(2600):
+            rec.emit(float(i), "bus", node=i)
+            expect.append(TraceRecord(float(i), "bus", {"node": i}))
+        got = list(rec)
+        assert got == expect[rec.dropped_records:]
+        assert len(rec._misc) < 2048  # bounded, not stream-length
+        _journal_invariants(rec)
+        rec.save_npz(tmp_path / "misc.npz")
+        again = FlightRecorder.load_npz(tmp_path / "misc.npz")
+        assert list(again) == got

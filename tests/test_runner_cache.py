@@ -234,3 +234,77 @@ class TestRoundtrip:
         assert dump["cache.misses"]["value"] == 1
         assert dump["cache.corrupt_dropped"]["value"] == 1
         assert dump["cache.hits"]["value"] == 0
+
+
+class TestConcurrentWrites:
+    """put() must be atomic under thread-level concurrency: the old
+    pid-suffixed temp name collided when threads in one process raced on
+    the same digest, interleaving writes into a single temp file."""
+
+    def test_racing_threads_same_spec_publish_valid_entry(self, tmp_path):
+        import threading
+
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = _spec()
+        summary = execute_spec(spec).summary
+        start = threading.Barrier(8)
+        results = []
+
+        def writer():
+            start.wait()
+            for _ in range(25):
+                results.append(cache.put(spec, summary))
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(results) and len(results) == 200
+        # The published entry is always complete and parseable.
+        assert cache.get(spec) == summary
+        # No orphaned temp files survive the race.
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_racing_threads_full_pickle(self, tmp_path):
+        import threading
+
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = _spec(full=True)
+        result = run_policy("fvdf", spec.workload.build(), SETUP)
+        start = threading.Barrier(4)
+
+        def writer():
+            start.wait()
+            for _ in range(10):
+                assert cache.put(spec, result)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        cached = cache.get(spec)
+        assert cached.makespan == result.makespan
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_temp_files_stay_in_cache_shard_dir(self, tmp_path, monkeypatch):
+        """Temp names must land next to the destination (same filesystem,
+        atomic os.replace) — never in the global tempdir."""
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = _spec()
+        summary = execute_spec(spec).summary
+        seen = []
+        import tempfile as _tempfile
+
+        real = _tempfile.mkstemp
+
+        def spy(*a, **kw):
+            seen.append(kw.get("dir"))
+            return real(*a, **kw)
+
+        monkeypatch.setattr("repro.runner.cache.tempfile.mkstemp", spy)
+        assert cache.put(spec, summary)
+        digest = spec.digest()
+        assert seen == [tmp_path / digest[:2]]

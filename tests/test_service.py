@@ -1,0 +1,373 @@
+"""The streaming scheduler service: sources, driver, checkpoints, cache.
+
+The service regime (:mod:`repro.service`) must be as deterministic as the
+batch engine it wraps:
+
+* arrival sources replay identically from a spec, and resume from a
+  saved cursor — including with a lookahead coflow buffered — exactly
+  where they left off;
+* the driver's drain cadence partitions results without changing them,
+  backpressure restamps late admissions to "now", and engine memory is
+  bounded by the in-flight backlog, not the stream length;
+* a mid-stream checkpoint restores to a bit-identical continuation;
+* :class:`~repro.runner.ResultCache` round-trips ``ServeSpec`` runs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentSetup
+from repro.core.results import ResultStore, concat_stores
+from repro.errors import ReproError
+from repro.runner import ResultCache, ServeSpec
+from repro.schedulers import make_scheduler
+from repro.service import (
+    JsonlSource,
+    SourceSpec,
+    StreamDriver,
+    coflow_from_json,
+    coflow_to_json,
+    load_checkpoint,
+    restore_driver,
+    run_serve_spec,
+)
+from repro.traces.distributions import ConstantSize
+from repro.units import KB, mbps
+
+SETUP = ExperimentSetup(num_ports=4, bandwidth=mbps(100), slice_len=0.01)
+
+#: Columns that identify a flow's outcome independently of global ids.
+FLOW_CONTENT = (
+    "src", "dst", "size", "arrival", "start", "finish", "finish_phys",
+    "bytes_sent", "comp_in", "comp_out",
+)
+CF_CONTENT = (
+    "cf_arrival", "cf_finish", "cf_finish_phys", "cf_size", "cf_width",
+    "cf_bytes_sent",
+)
+
+
+def _spec(**kw):
+    kw.setdefault("rate", 40.0)
+    kw.setdefault("num_ports", 4)
+    kw.setdefault("width", (1, 3))
+    kw.setdefault("size_dist", ConstantSize(200 * KB))
+    kw.setdefault("seed", 5)
+    kw.setdefault("limit", 30)
+    return SourceSpec(**kw)
+
+
+def _driver(spec=None, *, policy="fvdf-flow", **kw):
+    spec = spec or _spec()
+    sim = SETUP.build_simulator(make_scheduler(policy))
+    kw.setdefault("tick", 0.2)
+    return StreamDriver(
+        sim, spec.build(), setup=SETUP, source_spec=spec, **kw
+    )
+
+
+def _drain_all(source):
+    out = []
+    while source.peek() is not None:
+        out.append(source.pop())
+    return out
+
+
+def _content(store, cols=FLOW_CONTENT):
+    return [np.asarray(getattr(store, c)) for c in cols]
+
+
+def _assert_same_content(a, b, cols=FLOW_CONTENT):
+    for name, xa, xb in zip(cols, _content(a, cols), _content(b, cols)):
+        assert np.array_equal(xa, xb), f"column {name} differs"
+
+
+# ------------------------------------------------------------ sources
+class TestSyntheticSource:
+    def test_replay_is_deterministic(self):
+        a = _drain_all(_spec().build())
+        b = _drain_all(_spec().build())
+        assert len(a) == len(b) == 30
+        assert [c.arrival for c in a] == [c.arrival for c in b]
+        assert [len(c.flows) for c in a] == [len(c.flows) for c in b]
+        assert [f.size for c in a for f in c.flows] == [
+            f.size for c in b for f in c.flows
+        ]
+
+    @pytest.mark.parametrize("mode", ["steady", "bursty", "diurnal"])
+    def test_modes_yield_nondecreasing_bounded_streams(self, mode):
+        coflows = _drain_all(_spec(mode=mode, limit=200).build())
+        assert len(coflows) == 200
+        arrivals = [c.arrival for c in coflows]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0
+        assert all(1 <= len(c.flows) <= 3 for c in coflows)
+        assert all(
+            0 <= f.src < 4 and 0 <= f.dst < 4
+            for c in coflows for f in c.flows
+        )
+
+    def test_bursty_is_burstier_than_steady(self):
+        gaps = lambda cs: np.diff([c.arrival for c in cs])  # noqa: E731
+        steady = gaps(_drain_all(_spec(mode="steady", limit=400).build()))
+        bursty = gaps(_drain_all(_spec(
+            mode="bursty", burst_factor=16.0, burst_fraction=0.1, limit=400,
+        ).build()))
+        # Same mean rate regime, much heavier gap dispersion under bursts.
+        assert np.std(bursty) / np.mean(bursty) > np.std(steady) / np.mean(steady)
+
+    def test_seek_resumes_identically(self):
+        whole = _drain_all(_spec(limit=40).build())
+        src = _spec(limit=40).build()
+        first = [src.pop() for _ in range(17)]
+        cursor = src.state()
+        resumed = _spec(limit=40).build()
+        resumed.seek(cursor)
+        rest = _drain_all(resumed)
+        combined = first + rest
+        assert [c.arrival for c in combined] == [c.arrival for c in whole]
+        assert [f.size for c in combined for f in c.flows] == [
+            f.size for c in whole for f in c.flows
+        ]
+
+    def test_state_points_before_buffered_lookahead(self):
+        # peek() buffers the next coflow; state() must still describe the
+        # cursor *before* it, so a resume regenerates the peeked coflow.
+        src = _spec(limit=10).build()
+        src.pop()
+        peeked = src.peek()  # buffers coflow #2
+        cursor = src.state()
+        resumed = _spec(limit=10).build()
+        resumed.seek(cursor)
+        assert resumed.peek() == peeked
+        assert [c.arrival for c in _drain_all(resumed)] == [
+            c.arrival for c in _drain_all(src)
+        ]
+
+    def test_seek_with_buffered_coflow_is_refused(self):
+        src = _spec().build()
+        src.peek()
+        with pytest.raises(ReproError):
+            src.seek({"kind": "synthetic"})
+
+    def test_spec_validation(self):
+        with pytest.raises(ReproError):
+            _spec(rate=0.0)
+        with pytest.raises(ReproError):
+            _spec(mode="lumpy")
+        with pytest.raises(ReproError):
+            SourceSpec(kind="jsonl")  # jsonl requires a path
+
+
+class TestJsonlSource:
+    def _write(self, tmp_path, coflows):
+        path = tmp_path / "arrivals.jsonl"
+        with path.open("w") as fh:
+            for cf in coflows:
+                fh.write(json.dumps(coflow_to_json(cf)) + "\n\n")
+        return path
+
+    def test_coflow_json_roundtrip(self):
+        [cf] = _drain_all(_spec(limit=1, compressible_fraction=0.5).build())
+        cf.label = "job-7"
+        again = coflow_from_json(json.loads(json.dumps(coflow_to_json(cf))))
+        assert again.arrival == cf.arrival
+        assert again.label == cf.label
+        assert [
+            (f.src, f.dst, f.size, f.compressible) for f in again.flows
+        ] == [(f.src, f.dst, f.size, f.compressible) for f in cf.flows]
+
+    def test_file_replay_matches_origin(self, tmp_path):
+        coflows = _drain_all(_spec(limit=12).build())
+        src = JsonlSource(str(self._write(tmp_path, coflows)))
+        replayed = _drain_all(src)
+        assert [c.arrival for c in replayed] == [c.arrival for c in coflows]
+        assert [f.size for c in replayed for f in c.flows] == [
+            f.size for c in coflows for f in c.flows
+        ]
+
+    def test_decreasing_arrivals_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        rows = [
+            {"arrival": 1.0, "flows": [{"src": 0, "dst": 1, "size": 10.0}]},
+            {"arrival": 0.5, "flows": [{"src": 0, "dst": 1, "size": 10.0}]},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        src = JsonlSource(str(path))
+        src.pop()
+        with pytest.raises(ReproError):
+            src.peek()
+
+    def test_seek_skips_consumed_lines(self, tmp_path):
+        coflows = _drain_all(_spec(limit=10).build())
+        path = str(self._write(tmp_path, coflows))
+        src = JsonlSource(path)
+        for _ in range(4):
+            src.pop()
+        cursor = src.state()
+        resumed = JsonlSource(path)
+        resumed.seek(cursor)
+        assert [c.arrival for c in _drain_all(resumed)] == [
+            c.arrival for c in coflows[4:]
+        ]
+
+
+# ------------------------------------------------------------- driver
+class TestStreamDriver:
+    def test_stream_completes_and_counts_balance(self):
+        d = _driver()
+        stats = d.run()
+        assert stats.coflows_submitted == stats.coflows_done == 30
+        assert stats.flows_submitted == stats.flows_done
+        assert d.in_flight == 0
+        assert not d.sim.pending
+        assert stats.avg_fct > 0 and stats.avg_cct >= stats.avg_fct / 10
+
+    def test_drain_cadence_partitions_without_changing_results(self):
+        stores = []
+        for drain_every in (1, 3):
+            d = _driver(drain_every=drain_every)
+            d.run()
+            stores.append(d.result_store())
+        assert stores[0].flow_id.size == stores[1].flow_id.size
+        _assert_same_content(stores[0], stores[1])
+        _assert_same_content(stores[0], stores[1], CF_CONTENT)
+
+    def test_arrival_gap_longer_than_tick_stays_live(self, tmp_path):
+        # Nothing in flight and the next arrival several ticks away: the
+        # service must keep advancing its horizon across the idle gap
+        # (regression: an idle ``sim.run(until=...)`` used to leave ``now``
+        # frozen, so the driver ticked forever without making progress).
+        path = tmp_path / "gap.jsonl"
+        rows = [
+            {"arrival": 0.0, "flows": [{"src": 0, "dst": 1, "size": 10.0}]},
+            {"arrival": 5.0, "flows": [{"src": 1, "dst": 0, "size": 10.0}]},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        sim = SETUP.build_simulator(make_scheduler("fvdf-flow"))
+        d = StreamDriver(sim, JsonlSource(str(path)), tick=0.2, setup=SETUP)
+        stats = d.run(max_ticks=100)  # gap needs ~25 ticks; bound the test
+        assert stats.coflows_done == 2
+        assert sim.now >= 5.0
+
+    def test_backpressure_restamps_late_admissions(self):
+        # A 2-flow in-flight bound on a 60-coflow burst forces most
+        # arrivals to wait; they must be restamped to admission time.
+        d = _driver(_spec(rate=5000.0, width=(1, 1), limit=60),
+                    max_in_flight=2)
+        stats = d.run()
+        assert stats.restamped > 0
+        assert stats.flows_done == 60
+        store = d.result_store()
+        assert np.all(np.asarray(store.start) >= np.asarray(store.arrival))
+
+    def test_memory_stays_backlog_bounded(self):
+        d = _driver(_spec(rate=200.0, limit=300), max_in_flight=20)
+        stats = d.run()
+        assert stats.flows_done == stats.flows_submitted
+        assert stats.peak_live_rows <= 4 * 20  # slack for whole-slot drain
+        assert stats.peak_in_flight <= 20 + 3  # one coflow may overshoot
+
+    def test_spill_dir_writes_loadable_shards(self, tmp_path):
+        d = _driver(spill_dir=tmp_path, keep_shards=False, drain_every=2)
+        stats = d.run()
+        assert d.shard_paths and all(p.exists() for p in d.shard_paths)
+        loaded = concat_stores(
+            [ResultStore.load_npz(p) for p in d.shard_paths]
+        )
+        assert loaded.flow_id.size == stats.flows_done
+        with pytest.raises(ReproError):
+            d.result_store()  # spilled runs hold no in-memory shards
+
+    def test_max_ticks_pauses_and_resumes(self):
+        whole = _driver()
+        whole.run()
+        paused = _driver()
+        paused.run(max_ticks=3)
+        assert paused.stats.ticks == 3
+        paused.run()
+        _assert_same_content(whole.result_store(), paused.result_store())
+
+
+# -------------------------------------------------------- checkpointing
+class TestCheckpoint:
+    def test_mid_stream_roundtrip_is_bit_identical(self, tmp_path):
+        whole = _driver()
+        whole.run()
+
+        first = _driver()
+        first.run(max_ticks=4)
+        ck = first.checkpoint(tmp_path / "serve.ckpt.npz")
+        pre = list(first.shards)
+
+        second = restore_driver(ck)
+        second.run()
+        combined = concat_stores(pre + second.shards)
+        _assert_same_content(whole.result_store(), combined)
+        _assert_same_content(
+            whole.result_store(), combined, CF_CONTENT
+        )
+        assert list(whole.result_store().cf_label) == list(
+            combined.cf_label
+        )
+
+    def test_checkpoint_carries_driver_and_source_state(self, tmp_path):
+        d = _driver()
+        d.run(max_ticks=4)
+        ck = d.checkpoint(tmp_path / "serve.ckpt.npz")
+        data = load_checkpoint(ck)
+        assert data["schema"] == "repro-checkpoint-v1"
+        assert data["driver_state"]["stats"]["ticks"] == 4
+        assert data["source_spec"] == d.source_spec
+        assert data["source_state"]["count"] >= 0
+
+    def test_periodic_checkpoints_overwrite_latest(self, tmp_path):
+        path = tmp_path / "latest.npz"
+        d = _driver(checkpoint_path=path, checkpoint_every_ticks=2)
+        stats = d.run()
+        assert path.exists()
+        assert stats.checkpoints >= 2
+
+    def test_restored_stream_counts_continue(self, tmp_path):
+        first = _driver()
+        first.run(max_ticks=4)
+        done_before = first.stats.flows_done
+        ck = first.checkpoint(tmp_path / "c.npz")
+        second = restore_driver(ck)
+        assert second.stats.flows_done == done_before
+        stats = second.run()
+        assert stats.coflows_done == 30
+
+
+# ------------------------------------------------------- spec and cache
+class TestServeSpecCache:
+    def _serve_spec(self, **kw):
+        kw.setdefault("policy", "fvdf-flow")
+        kw.setdefault("source", _spec())
+        kw.setdefault("setup", SETUP)
+        kw.setdefault("tick", 0.2)
+        return ServeSpec(**kw)
+
+    def test_digest_stable_and_shape_sensitive(self):
+        assert self._serve_spec().digest() == self._serve_spec().digest()
+        assert self._serve_spec().digest() is not None
+        base = self._serve_spec().digest()
+        assert self._serve_spec(tick=0.5).digest() != base
+        assert self._serve_spec(max_in_flight=7).digest() != base
+        assert self._serve_spec(source=_spec(seed=6)).digest() != base
+
+    def test_live_source_is_uncacheable(self):
+        spec = self._serve_spec(source=_spec().build(), key="live")
+        assert spec.digest() is None
+
+    def test_cache_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        spec = self._serve_spec()
+        cold, was_cached = run_serve_spec(spec, cache)
+        assert not was_cached
+        warm, was_cached = run_serve_spec(spec, cache)
+        assert was_cached
+        assert warm == cold
+        assert cold.avg_cct > 0

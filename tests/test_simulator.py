@@ -197,6 +197,18 @@ class TestCallbacksAndIncremental:
         assert res.flow_results == []
         assert sim.now <= 5.0 + 1e-9
 
+    def test_run_until_advances_an_idle_engine(self):
+        # ``run(until=t)`` means the clock reaches t even with nothing to
+        # simulate — an incremental caller's next horizon (now + tick) must
+        # keep moving, or a driver waiting out an arrival gap livelocks.
+        sw = BigSwitch(1, 1.0)
+        sim = SliceSimulator(sw, FullRate(), slice_len=0.01)
+        sim.run(until=3.0)
+        assert sim.now == pytest.approx(3.0)
+        sim.submit(one_flow_coflow(size=1.0, arrival=5.0))
+        res = sim.run()
+        assert res.makespan == pytest.approx(6.0)
+
 
 class TestCompressionSemantics:
     def engine(self, speed=2.0, ratio=0.5):

@@ -118,3 +118,70 @@ def test_determinism(coflows, policy):
     b, _ = run(coflows, policy)
     assert [f.finish for f in a.flow_results] == [f.finish for f in b.flow_results]
     assert a.total_bytes_sent == b.total_bytes_sent
+
+
+def _shifted(coflows, offset):
+    """Fresh copies of a workload translated ``offset`` seconds later."""
+    out = []
+    for cf in coflows:
+        flows = [
+            Flow(src=f.src, dst=f.dst, size=f.size,
+                 compressible=f.compressible)
+            for f in cf.flows
+        ]
+        out.append(Coflow(flows, arrival=cf.arrival + offset))
+    return out
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_resume_at_large_now_matches_uninterrupted(data):
+    """``run(until=...)`` resume is magnitude-independent.
+
+    Regression for the horizon comparison's absolute 1e-12 epsilon: one
+    ulp of 1e9 s is ~1.2e-7, so at large simulated times the tolerance
+    underflowed to exact float equality and a resumed tick could stall
+    on — or double-fire — a slice boundary.  The relative ``_time_eps``
+    must make a chunked run (including chunks landing exactly on the
+    slice grid) bit-identical to an uninterrupted one at any offset.
+    """
+    offset = data.draw(
+        st.sampled_from([0.0, 1e3, 1e6, 1e9]), label="offset"
+    )
+    coflows = data.draw(workloads())
+    policy = data.draw(st.sampled_from(["sebf", "fvdf-flow"]))
+
+    whole, _ = run(_shifted(coflows, offset), policy)
+
+    scheduler = make_scheduler(policy)
+    engine = CompressionEngine(
+        Codec("prop", speed=8.0, decompression_speed=32.0, ratio=0.5),
+        size_dependent=False,
+    )
+    sim = SliceSimulator(
+        BigSwitch(N_PORTS, bandwidth=1.0),
+        scheduler,
+        slice_len=0.05,
+        cpu=CpuModel(N_PORTS, cores_per_node=2),
+        compression=engine if scheduler.uses_compression else None,
+    )
+    sim.submit_many(_shifted(coflows, offset))
+    # Resume in chunks; 0.05 lands exactly on the slice grid every time.
+    chunk = data.draw(st.sampled_from([0.05, 0.1, 0.33]), label="chunk")
+    n_chunks = data.draw(st.integers(1, 4), label="n_chunks")
+    for i in range(1, n_chunks + 1):
+        sim.run(until=offset + i * chunk)
+        assert sim.now <= offset + i * chunk + 0.05
+    chunked = sim.run()
+
+    assert [f.finish for f in chunked.flow_results] == [
+        f.finish for f in whole.flow_results
+    ]
+    assert [c.finish for c in chunked.coflow_results] == [
+        c.finish for c in whole.coflow_results
+    ]
+    # Chunk boundaries insert extra decision points, so byte totals
+    # accumulate in a different order — equal only up to float roundoff.
+    assert chunked.total_bytes_sent == pytest.approx(
+        whole.total_bytes_sent, rel=1e-9
+    )

@@ -159,3 +159,63 @@ class TestReport:
         out = write_report(report, tmp_path / "report.json")
         again = json.loads(out.read_text())
         assert again == json.loads(json.dumps(report))
+
+
+class TestDegenerateInputs:
+    """``repro report`` must not divide by zero on empty or all-cached
+    inputs: undefined ratios become explicit JSON nulls and render as
+    ``n/a``, never as fake measurements."""
+
+    def _zero_decision_telemetry(self):
+        # A snapshot whose metrics never saw a decision (e.g. an empty
+        # workload, or a run with metrics disabled mid-flight).
+        snap = TelemetrySnapshot(
+            key="empty", policy="fvdf", pid=1,
+            wall_s=0.01, cpu_s=0.01, peak_rss_kb=1000, metrics={},
+        )
+        return RunTelemetry(snapshots=[snap], workers=1, wall_s=0.01)
+
+    def test_zero_decisions_yield_nulls_not_zero_division(self):
+        report = build_report(
+            self._zero_decision_telemetry(), {"mode": "test"}
+        )
+        p = report["policies"]["fvdf"]
+        assert p["decisions"] == 0
+        assert p["decision_latency_mean_s"] is None
+        assert p["core_claims_per_decision"] is None
+        json.dumps(report)  # nulls must serialize
+
+    def test_zero_decisions_render_as_na(self):
+        report = build_report(
+            self._zero_decision_telemetry(), {"mode": "test"}
+        )
+        text = render_report(report)
+        assert "n/a" in text
+        assert "nan" not in text.lower()
+
+    def test_all_cache_hit_sweep_has_null_skew(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        run_specs(_specs(), workers=0, cache=cache)  # cold fill
+        warm = run_specs(_specs(), workers=0, cache=cache)
+        tele = RunTelemetry.collect(
+            warm, workers=0, wall_s=0.1, cache=cache
+        )
+        assert tele.skew() == 0.0  # the method itself stays a float
+        report = build_report(tele, GRID.describe())
+        assert report["skew"] is None  # ...but the report says "undefined"
+        assert report["executed_cells"] == 0
+        assert report["cached_cells"] == GRID.cells
+        assert report["policies"] == {}  # no snapshots → no per-policy rows
+        text = render_report(report)  # renders without dividing by zero
+        assert "0 executed" in text
+        json.dumps(report)
+
+    def test_single_worker_run_reports_cleanly(self):
+        outs = run_specs(_specs(), workers=1, cache=False)
+        tele = RunTelemetry.collect(outs, workers=1, wall_s=1.0)
+        report = build_report(tele, GRID.describe())
+        assert report["workers"] == 1
+        assert len(report["workers_detail"]) == 1
+        assert report["skew"] is not None and report["skew"] >= 1.0
+        text = render_report(report)
+        assert "worker load" in text and "n/a" not in text
