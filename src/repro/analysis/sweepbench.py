@@ -29,6 +29,12 @@ Every mode's summaries are compared exactly (``ResultSummary.__eq__`` is
 bitwise on floats and arrays); an entry with ``identical: false`` means
 the pool or cache broke determinism and :func:`check_entry` fails it
 regardless of speed.
+
+Each entry also carries a ``collection`` block — an ``arrays=True``
+slice of the grid run sequentially and at 1/2/4 workers, proving the
+shared-memory result transport (:mod:`repro.runner.shm`) is bit-exact at
+every worker count, actually used (attach count), and leak-free
+(``/dev/shm`` swept for stray ``repro-shm-*`` segments).
 """
 
 from __future__ import annotations
@@ -95,14 +101,18 @@ class SweepGrid:
             arrival_rate=self.arrival_rate,
         )
 
-    def specs(self, telemetry: bool = False) -> List[RunSpec]:
+    def specs(
+        self, telemetry: bool = False, arrays: bool = False
+    ) -> List[RunSpec]:
         """One cacheable RunSpec per grid cell, in deterministic order.
 
         Workloads are *generated* specs (config + seed): each worker
         rebuilds its trace with ``np.random.default_rng(seed)``, so only
         a few hundred bytes cross the pipe per cell.  ``telemetry=True``
         makes every cell ship a :class:`~repro.runner.telemetry.
-        TelemetrySnapshot` home (the cache digest is unaffected).
+        TelemetrySnapshot` home (the cache digest is unaffected);
+        ``arrays=True`` makes every cell carry its per-flow/per-coflow
+        columns home (over shared memory on the pooled path).
         """
         cfg = self.workload_config()
         out: List[RunSpec] = []
@@ -118,7 +128,7 @@ class SweepGrid:
                         RunSpec(
                             policy=policy, workload=workload, setup=setup,
                             key=f"s{seed}/bw{bw:g}/{policy}",
-                            telemetry=telemetry,
+                            telemetry=telemetry, arrays=arrays,
                         )
                     )
         return out
@@ -160,6 +170,56 @@ def _summaries_identical(a, b) -> bool:
     return len(a) == len(b) and all(
         x.key == y.key and x.summary == y.summary for x, y in zip(a, b)
     )
+
+
+#: Worker counts the array-collection identity check runs at.
+COLLECTION_WORKERS = (1, 2, 4)
+
+
+def _collection_block(grid: SweepGrid) -> Dict:
+    """Array-bearing sweeps through the shared-memory result transport.
+
+    Runs an ``arrays=True`` version of the grid (first two seeds — the
+    collection cost scales with cells, not seeds) sequentially and at
+    each of :data:`COLLECTION_WORKERS`, recording per-worker-count wall
+    time, exact summary identity against the sequential pass, how many
+    cells actually attached through shared memory, and whether any
+    ``repro-shm-*`` segment outlived the pools.
+    """
+    import dataclasses
+    import glob
+    import os
+
+    from repro.runner import shm as shm_mod
+
+    small = dataclasses.replace(grid, seeds=tuple(grid.seeds[:2]))
+    specs = small.specs(arrays=True)
+    seq_outs, seq_s = _timed_run(specs, workers=0, cache=False)
+    attached_before = shm_mod.ATTACHED
+    runs = []
+    for w in COLLECTION_WORKERS:
+        outs, wall = _timed_run(specs, workers=w, cache=False)
+        runs.append(
+            {
+                "workers": w,
+                "wall_s": round(wall, 6),
+                "identical": _summaries_identical(seq_outs, outs),
+            }
+        )
+    leaked = (
+        len(glob.glob(f"/dev/shm/{shm_mod.SHM_PREFIX}*"))
+        if os.path.isdir("/dev/shm")
+        else 0
+    )
+    return {
+        "transport": "shm" if shm_mod.shm_enabled() else "pickle",
+        "cells": len(specs),
+        "sequential_s": round(seq_s, 6),
+        "attached": shm_mod.ATTACHED - attached_before,
+        "leaked_segments": leaked,
+        "runs": runs,
+        "identical": all(r["identical"] for r in runs),
+    }
 
 
 def bench_entry(
@@ -208,6 +268,7 @@ def bench_entry(
         "cache_speedup": cache_speedup,
         "cache_hits_warm": warm_cache.hits,
         "identical": identical,
+        "collection": _collection_block(grid),
         "speedup": {
             "mode": mode,
             "ratio": ratio,
@@ -238,6 +299,25 @@ def check_entry(entry: Dict) -> None:
         f"warm-cache sweep re-run below floor: "
         f"{entry['cache_speedup']}x < {MIN_SPEEDUP}x"
     )
+    coll = entry.get("collection")
+    if coll is not None:
+        assert coll["identical"], (
+            "array-bearing pooled sweeps are not bit-identical to the "
+            "sequential path: "
+            + ", ".join(
+                f"workers={r['workers']}:{r['identical']}"
+                for r in coll["runs"]
+            )
+        )
+        assert coll["leaked_segments"] == 0, (
+            f"{coll['leaked_segments']} repro-shm-* segment(s) leaked "
+            f"in /dev/shm after the collection sweeps"
+        )
+        if coll["transport"] == "shm":
+            assert coll["attached"] > 0, (
+                "shm transport enabled but no cell was collected through "
+                "shared memory"
+            )
 
 
 def append_entry(path, entry: Dict) -> Dict:

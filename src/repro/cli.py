@@ -24,7 +24,9 @@ Subcommands
     ``--bigtrace`` instead replays a synthetic FB-like trace (130k+
     flows) end to end against the pinned pre-columnar engine and
     appends to ``BENCH_bigtrace.json`` (``--smoke`` is the seconds-scale
-    CI identity check).
+    CI identity check); ``--kernels`` instead times the decision-kernel
+    backends (``REPRO_KERNEL``) on the large case and appends a
+    backend-labeled entry with bit-identity fingerprints.
 ``sweep``
     Run a (policy × bandwidth × seed) experiment grid through the
     parallel runner (:mod:`repro.runner`) with the content-addressed
@@ -56,6 +58,7 @@ Examples::
     python -m repro bench --check
     python -m repro bench --bigtrace --check
     python -m repro bench --bigtrace --smoke
+    python -m repro bench --kernels --check
     python -m repro sweep --workers 4
     python -m repro sweep --smoke
     python -m repro sweep --bench --check
@@ -309,6 +312,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.bigtrace or args.smoke:
         return _bench_bigtrace(args)
+    if args.kernels:
+        return _bench_kernels(args)
 
     entry = perfbench.bench_entry(repeats=args.repeats, label=args.label)
     rows = [
@@ -347,6 +352,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
             return 1
         print(f"speedup check passed (>= {perfbench.MIN_SPEEDUP:.1f}x)")
+    return 0
+
+
+def _bench_kernels(args: argparse.Namespace) -> int:
+    """`bench --kernels`: compare decision-kernel backends on one case."""
+    from repro.analysis import perfbench
+
+    entry = perfbench.kernel_entry(repeats=args.repeats, label=args.label)
+    rows = [
+        [
+            r["kernel"],
+            f"{r['wall_s']:.3f}s",
+            str(r["decisions"]),
+            f"{r['decisions_per_sec']:.0f}",
+            r["fingerprint"][:12],
+        ]
+        for r in entry["runs"]
+    ]
+    print(render_table(
+        ["backend", "wall", "decisions", "dec/s", "fingerprint"],
+        rows,
+        title=f"decision-kernel backends on case "
+              f"'{entry['case']['name']}' (best of {entry['repeats']}, "
+              f"{entry['cores']} cores)",
+    ))
+    sp = entry["speedup"]
+    ratio = "n/a" if sp["ratio"] is None else f"{sp['ratio']:.2f}x"
+    print(
+        f"\nidentical: {entry['identical']} | best non-python: "
+        f"{sp['best_kernel']} at {ratio} vs python "
+        f"({sp['mode']}; floor {sp['floor']:.1f}x "
+        f"{'asserted' if sp['asserted'] else 'informational'})"
+    )
+    out = Path(args.out) if args.out else perfbench.default_bench_path()
+    if not args.dry_run:
+        perfbench.append_entry(out, entry)
+        print(f"trajectory appended -> {out}")
+    if args.check:
+        try:
+            perfbench.check_kernel_entry(entry)
+        except AssertionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        floor = (
+            f">= {sp['floor']:.1f}x" if sp["asserted"] else "identity only"
+        )
+        print(f"kernel check passed ({floor})")
     return 0
 
 
@@ -908,6 +960,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bigtrace", action="store_true",
                    help="run the trace-scale ingest/retire replay instead "
                         "and append to BENCH_bigtrace.json")
+    p.add_argument("--kernels", action="store_true",
+                   help="time the decision-kernel backends on the large "
+                        "case instead and append a backend-labeled entry "
+                        "(identity always asserted with --check; the 1.5x "
+                        "floor only on 4+-core hosts)")
     p.add_argument("--smoke", action="store_true",
                    help="with --bigtrace: seconds-scale CI case — verify "
                         "bit-identity, skip the speedup floor, no append")

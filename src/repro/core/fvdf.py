@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core import rate_allocation as ra
 from repro.core.scheduler import Allocation, Scheduler, SchedulerView
 from repro.errors import ConfigurationError
@@ -103,14 +104,15 @@ def coflow_gamma(view: SchedulerView, beta: np.ndarray) -> np.ndarray:
     """Eq. 8: ``Γ_C = max_f Γ_F(f)`` for every coflow in the view.
 
     Returns an array aligned with ``view.coflows``.  Computed as one
-    segment-max (``np.maximum.reduceat``) over the view's precomputed
-    unit offsets instead of a Python loop per coflow.
+    segment-max over the view's precomputed unit offsets instead of a
+    Python loop per coflow, through the active decision-kernel backend
+    (max is exact, so every backend is bitwise the reduceat reference).
     """
     if not view.coflows:
         return np.empty(0)
     gamma_f = expected_fct(view, beta)
     perm, starts = view.unit_offsets()
-    return np.maximum.reduceat(gamma_f[perm], starts[:-1])
+    return kernels.active_kernel().segment_max(gamma_f, perm, starts)
 
 
 def upgrade(view: SchedulerView, logbase: float = DEFAULT_LOGBASE) -> None:
@@ -313,7 +315,7 @@ class FVDFScheduler(Scheduler):
         if len(perm) == 0:
             return np.empty(0)
         gamma_f = expected_fct(view, beta)
-        return np.maximum.reduceat(gamma_f[perm], starts[:-1])
+        return kernels.active_kernel().segment_max(gamma_f, perm, starts)
 
     def _allocate(self, view, perm, starts, order, gamma, beta) -> np.ndarray:
         rem_in, rem_out = view.fresh_capacity()

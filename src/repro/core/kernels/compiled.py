@@ -1,0 +1,100 @@
+"""Numba-compiled decision kernel (optional).
+
+Importable whether or not numba is installed: :data:`HAVE_NUMBA` gates
+everything, and :func:`make_kernel` returns ``None`` when the compiled
+backend can't be built (callers fall back to the threaded kernel — see
+``repro.core.kernels.resolve_kernel``).
+
+The compiled pieces replace only the two leaf loops whose arithmetic
+order is fully pinned down:
+
+* the **scalar tail** — the per-entry min/subtract walk over a CSR view
+  of the fused rows.  Rows arrive sorted by fused group id, and group
+  ids are dimension-disjoint with cumulative offsets, so a stable
+  argsort by entry keeps each entry's rows in ascending dimension
+  order: the njit loop performs the exact IEEE operation sequence of
+  the list-based reference tail, hence bit-identical grants.
+* the **segment max** — exact and associative, so a ``prange`` loop is
+  trivially bit-identical to ``np.maximum.reduceat`` (including the
+  reduceat quirk that an empty segment yields its start element).
+
+Everything else (rounds, shard plans, chunk plans) is the shared numpy
+code in :mod:`repro.core.kernels.fill`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where the numba wheel exists
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover
+    HAVE_NUMBA = False
+
+if HAVE_NUMBA:  # pragma: no cover - covered by the optional CI numba job
+
+    @njit(cache=True, nogil=True)
+    def _tail_csr(grants, ids, wsub, caps, indptr, gcsr):
+        for pos in range(wsub.shape[0]):
+            r = wsub[pos]
+            for j in range(indptr[pos], indptr[pos + 1]):
+                c = caps[gcsr[j]]
+                if c < r:
+                    r = c
+            if r <= 0.0:
+                continue
+            grants[ids[pos]] += r
+            for j in range(indptr[pos], indptr[pos + 1]):
+                caps[gcsr[j]] -= r
+
+    @njit(cache=True, nogil=True, parallel=True)
+    def _segment_max(vals, starts, ends, out):
+        for s in prange(starts.shape[0]):
+            a = starts[s]
+            m = vals[a]
+            for j in range(a + 1, ends[s]):
+                v = vals[j]
+                if v > m:
+                    m = v
+            out[s] = m
+
+
+def make_kernel():
+    """Build the compiled kernel instance, or ``None`` without numba."""
+    if not HAVE_NUMBA:
+        return None
+    from repro.core.kernels import ThreadedKernel
+
+    class CompiledKernel(ThreadedKernel):
+        """njit tail + prange segment-max; threaded shard dispatch."""
+
+        name = "compiled"
+        parallel = True
+
+        def fill_tail(self, grants, ids, wsub, memb, lsafe, caps, rows, rowg):
+            k = wsub.shape[0]
+            counts = np.bincount(rows, minlength=k)
+            indptr = np.zeros(k + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            rorder = np.argsort(rows, kind="stable")
+            gcsr = np.ascontiguousarray(rowg[rorder], dtype=np.int64)
+            _tail_csr(
+                grants,
+                np.ascontiguousarray(ids, dtype=np.int64),
+                np.ascontiguousarray(wsub, dtype=np.float64),
+                caps,
+                indptr,
+                gcsr,
+            )
+
+        def segment_max(self, values, perm, starts):
+            vals = np.ascontiguousarray(values[perm], dtype=np.float64)
+            st = np.ascontiguousarray(starts[:-1], dtype=np.int64)
+            en = np.ascontiguousarray(starts[1:], dtype=np.int64)
+            out = np.empty(st.shape[0], dtype=np.float64)
+            _segment_max(vals, st, en, out)
+            return out
+
+    return CompiledKernel()

@@ -1,0 +1,121 @@
+"""Deterministic decomposition plans for the decision-pool fill.
+
+Two plans feed :mod:`repro.core.kernels.fill`:
+
+* :func:`label_components` — connected components of the bipartite
+  contention graph (pool entries on one side, fused constraint groups on
+  the other).  Entries in different components share no constraint, so
+  their fills are completely independent and may run on different
+  threads (or compiled loops) without any synchronization.
+* :func:`chunk_bounds` — segment-aligned chunk boundaries for the
+  per-round row phase inside one large shard, so the prefix-fits test
+  parallelizes even when the whole fabric is one contention component
+  (the common big-switch overload regime).
+
+Both plans are **pure functions of the pool** — never of the host's core
+count or of the selected backend — so every backend on every machine
+derives the identical decomposition, which is what makes cross-backend
+results bit-identical (see ``tests/test_kernel_backends.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Row-phase chunk size.  One chunk per this many fused rows; chunk count
+#: derives from the pool only (NOT from the core count), so per-chunk
+#: prefix sums are reproducible across hosts and backends.
+CHUNK_ROWS = 32768
+
+#: Iteration cap for the component labelling loop; pools that have not
+#: converged by then (pathological contention chains) fall back to one
+#: shard, which is always correct and still deterministic.
+MAX_LABEL_ITERS = 96
+
+
+def label_components(
+    rows: np.ndarray,
+    rowg: np.ndarray,
+    n_entries: int,
+    n_groups: int,
+    max_iter: int = MAX_LABEL_ITERS,
+) -> Optional[np.ndarray]:
+    """Component label per pool entry, or ``None`` when not converged.
+
+    ``rows``/``rowg`` are the fused (entry, group) incidence rows of the
+    pool, sorted by ``rowg``.  Labels are propagated with segment-min
+    reductions on both sides of the bipartite graph plus pointer jumping,
+    so convergence takes O(log diameter) passes over the rows instead of
+    one pass per chain link.  The returned labels are minimum node ids —
+    arbitrary but deterministic, which is all the shard plan needs.
+    """
+    if n_entries == 0:
+        return np.empty(0, dtype=np.int64)
+    nr = rows.size
+    if nr == 0:
+        return np.arange(n_entries, dtype=np.int64)
+    lab = np.arange(n_entries + n_groups, dtype=np.int64)
+    gnode = rowg.astype(np.int64) + n_entries
+    # Group-sorted segments come for free (rows are sorted by rowg).
+    gseg = np.empty(nr, dtype=bool)
+    gseg[0] = True
+    gseg[1:] = rowg[1:] != rowg[:-1]
+    gstarts = np.flatnonzero(gseg)
+    gids = gnode[gstarts]
+    # Entry-sorted view, built once and reused every pass.
+    eorder = np.argsort(rows, kind="stable")
+    erows = rows[eorder].astype(np.int64)
+    egroups = gnode[eorder]
+    eseg = np.empty(nr, dtype=bool)
+    eseg[0] = True
+    eseg[1:] = erows[1:] != erows[:-1]
+    estarts = np.flatnonzero(eseg)
+    eids = erows[estarts]
+    for _ in range(max_iter):
+        prev = lab.copy()
+        # Groups absorb the min label of their member entries...
+        gmin = np.minimum.reduceat(lab[rows], gstarts)
+        lab[gids] = np.minimum(lab[gids], gmin)
+        # ...entries absorb the min label of their groups...
+        emin = np.minimum.reduceat(lab[egroups], estarts)
+        lab[eids] = np.minimum(lab[eids], emin)
+        # ...and every node shortcuts to its label's label.
+        lab = np.minimum(lab, lab[lab])
+        if np.array_equal(lab, prev):
+            break
+    else:
+        return None
+    # Full path compression so equal components share one representative.
+    for _ in range(max_iter):
+        nxt = lab[lab]
+        if np.array_equal(nxt, lab):
+            break
+        lab = nxt
+    return lab[:n_entries]
+
+
+def chunk_bounds(
+    n_rows: int,
+    seg_starts: np.ndarray,
+    chunk: Optional[int] = None,
+) -> np.ndarray:
+    """Segment-aligned chunk boundaries ``[0, ..., n_rows]`` for a row phase.
+
+    The chunk count is ``ceil(n_rows / chunk)`` — derived from the pool,
+    never from the host — and each boundary is snapped forward to the
+    next segment start so a group's queue never straddles two chunks
+    (per-chunk prefix sums then reproduce the canonical segment-local
+    cumulative demand exactly).  Boundaries may collapse when segments
+    are huge; duplicates are dropped.
+    """
+    if chunk is None:
+        chunk = CHUNK_ROWS
+    nch = -(-n_rows // chunk) if n_rows > 0 else 1
+    if nch <= 1:
+        return np.array([0, n_rows], dtype=np.intp)
+    targets = (np.arange(1, nch, dtype=np.int64) * n_rows) // nch
+    ext = np.append(seg_starts.astype(np.int64), n_rows)
+    cuts = ext[np.searchsorted(ext, targets, side="left")]
+    return np.unique(np.concatenate(([0], cuts, [n_rows]))).astype(np.intp)

@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.errors import ConfigurationError
 
 #: Relative epsilon used to decide saturation in iterative filling.
@@ -122,6 +123,7 @@ def priority_fill(
     out: Optional[np.ndarray] = None,
     n: Optional[int] = None,
     gathers: Optional[Tuple[List[np.ndarray], ...]] = None,
+    kernel: Optional[object] = None,
 ) -> np.ndarray:
     """Sequential priority filling, computed with whole-group steps.
 
@@ -168,6 +170,12 @@ def priority_fill(
         Optional ``(ogroups, members, safe)`` from :func:`gather_groups`
         for this exact ``order``, letting repeated fills skip the
         per-dimension gathers.
+    kernel:
+        Optional decision-kernel override — a backend name or
+        :class:`repro.core.kernels.DecisionKernel` instance — for the
+        contended rounds; defaults to the context-active kernel
+        (:func:`repro.core.kernels.active_kernel`).  Backends are
+        bit-identical, so this is purely a performance knob.
 
     Returns
     -------
@@ -243,7 +251,7 @@ def priority_fill(
                 )
         return _fill_contended_demands(
             out, order, dims, want, ~settled & contended,
-            ogroups, members, safe,
+            ogroups, members, safe, kernel=kernel,
         )
     # Backfill rounds over the shrinking open set.  A flow is ready when
     # it heads the remaining queue of every group it occupies: all
@@ -394,6 +402,7 @@ def _fill_contended_demands(
     ogroups: Sequence[np.ndarray],
     members: Sequence[np.ndarray],
     safe: Sequence[np.ndarray],
+    kernel: Optional[object] = None,
 ) -> np.ndarray:
     """Settle the contended remainder of a demand-capped priority fill.
 
@@ -427,6 +436,13 @@ def _fill_contended_demands(
     is one *row*, with group ids offset per dimension so they never
     collide.  One sort and one cumsum chain per round cover every
     dimension at once, and an entry is ready when none of its rows fail.
+
+    The rounds themselves (and the scalar tail below the crossover) run
+    through the selected decision-kernel backend
+    (:mod:`repro.core.kernels`): this function builds the fused rows,
+    the backend shards them along contention components and executes
+    the round phases — serially, on a thread pool, or compiled — with
+    bit-identical results either way.
     """
     sel = np.flatnonzero(live)
     osub = order[sel]
@@ -450,80 +466,15 @@ def _fill_contended_demands(
     srt = np.argsort(rowg, kind="stable")
     rows = rows[srt]
     rowg = rowg[srt]
-    while True:
-        k = osub.size
-        if k == 0:
-            break
-        if k <= _SCALAR_TAIL:
-            _scalar_tail_demands(out, dims, osub, wsub, memb_s, safe_s)
-            break
-        # Per-entry upper bound on what it can ever take from here on:
-        # its demand capped by its headroom against *current* capacities
-        # (capacities only shrink, so no later turn can beat this).
-        # Using the bound instead of the raw demand in the prefix test
-        # settles far more entries per round when flows are pinned by a
-        # different dimension than the queue being tested.
-        ub = np.full(k, np.inf)
-        for d, (_, caps) in enumerate(dims):
-            np.minimum(ub, caps[safe_s[d]], where=memb_s[d], out=ub)
-        np.minimum(ub, wsub, out=ub)
-        np.maximum(ub, 0.0, out=ub)
-        if rows.size:
-            capc = np.concatenate([caps for _, caps in dims])
-            newseg = np.empty(rows.size, dtype=bool)
-            newseg[0] = True
-            newseg[1:] = rowg[1:] != rowg[:-1]
-            seg_id = np.cumsum(newseg) - 1
-            seg_starts = np.flatnonzero(newseg)
-            ubr = ub[rows]
-            # Worst-case cumulative take within each group's queue,
-            # prefix up to each row *exclusive*, plus its own demand;
-            # segment heads pass unconditionally (their headroom against
-            # the current capacities is exact).
-            c = np.cumsum(ubr)
-            base = np.where(seg_starts > 0, c[seg_starts - 1], 0.0)
-            ok = (c - base[seg_id] - ubr + wsub[rows] <= capc[rowg]) | newseg
-            ready = np.bincount(rows[~ok], minlength=k) == 0
-        else:
-            ready = np.ones(k, dtype=bool)
-        rp = np.flatnonzero(ready)
-        if rp.size == 0:
-            break  # unreachable: the pool's first entry heads every queue
-        # An entry's grant is min(headroom now, demand) — exactly its
-        # upper bound (heads' headroom is exact; fitting rows guarantee
-        # headroom ≥ demand).
-        r = ub[rp]
-        give = r > 0.0
-        gp = rp[give]
-        rg = r[give]
-        if gp.size:
-            np.add.at(out, osub[gp], rg)
-            for d, (_, caps) in enumerate(dims):
-                gm = memb_s[d][gp]
-                caps -= np.bincount(
-                    safe_s[d][gp][gm], weights=rg[gm], minlength=len(caps)
-                )
-        keep = ~ready
-        # Collapse drained constraints: anyone left in a dead group has
-        # zero headroom now and forever (caps never grow during a fill).
-        for d, (_, caps) in enumerate(dims):
-            dead = caps <= 0.0
-            if dead.any():
-                keep &= ~(memb_s[d] & dead[safe_s[d]])
-        if not keep.any():
-            break
-        # Compact the pool; remap rows through the new entry positions
-        # (row order is preserved by the filter, so no re-sort).
-        newpos = np.cumsum(keep) - 1
-        rk = keep[rows]
-        rows = newpos[rows[rk]]
-        rowg = rowg[rk]
-        pool = np.flatnonzero(keep)
-        osub = osub[pool]
-        wsub = wsub[pool]
-        memb_s = [m[pool] for m in memb_s]
-        safe_s = [s[pool] for s in safe_s]
-    return out
+    if kernel is not None:
+        kern = kernels.resolve_kernel(kernel)
+    else:
+        kern = kernels.active_kernel()
+    # _SCALAR_TAIL is read here (not at import) so tests pinning the
+    # crossover via monkeypatch exercise both regimes.
+    return kern.fill_pool(
+        out, dims, osub, wsub, memb_s, safe_s, rows, rowg, _SCALAR_TAIL
+    )
 
 
 def greedy_priority(

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.compression.engine import CompressionEngine
+from repro.core import kernels
 from repro.core.coflow import Coflow, CoflowResult
 from repro.core.events import ArrivalCalendar, EventKind, ScheduleTrigger
 from repro.core.flow import FlowResult
@@ -703,7 +704,16 @@ class SliceSimulator:
 
         Incremental use is supported: call :meth:`run` with a horizon,
         :meth:`submit` more work, and call :meth:`run` again.
+
+        The whole run executes under the scheduler's decision-kernel
+        preference (``scheduler.kernel``, defaulting to
+        ``$REPRO_KERNEL``): backends are bit-identical, so this scoping
+        only decides how the hot-path arithmetic is dispatched.
         """
+        with kernels.use_kernel(getattr(self.scheduler, "kernel", None)):
+            return self._run_loop(until)
+
+    def _run_loop(self, until: Optional[float] = None) -> SimulationResult:
         trigger = ScheduleTrigger({EventKind.START}) if not self._started else ScheduleTrigger()
         self._started = True
         while True:

@@ -27,5 +27,15 @@ class TraceFormatError(ReproError):
     """A workload trace file could not be parsed."""
 
 
+class CheckpointError(ReproError):
+    """A simulator state cannot be faithfully checkpointed.
+
+    Raised by :func:`repro.service.checkpoint.save_checkpoint` instead of
+    silently writing a snapshot whose restore would diverge from the
+    uninterrupted run (e.g. pending scheduled capacity events — the
+    ``repro-checkpoint-v1`` format does not guarantee their round trip).
+    """
+
+
 class ProtocolError(ReproError):
     """The Swallow master/worker message protocol was violated."""

@@ -7,6 +7,21 @@ keeps directories small on big sweeps).  The digest is computed by
 :meth:`repro.runner.spec.RunSpec.digest` over the spec *content* — see
 that module for what is and is not part of the key.
 
+Array-bearing summaries (``RunSpec(arrays=True)``) split in two: the
+``.json`` keeps the scalars plus an ``__arrays__`` manifest, and the
+per-flow/per-coflow columns live in an uncompressed ``<digest>.npz``
+sidecar.  Warm reads map the sidecar with ``mmap_mode="r"`` semantics —
+``np.load`` silently ignores ``mmap_mode`` for zip archives, so member
+offsets are parsed directly and each column becomes a read-only
+``np.memmap`` — meaning a warm sweep never re-deserializes (or even
+faults in) columns nobody touches.
+
+Writes are crash-safe: payloads go to a same-directory temp file that is
+fsynced before the atomic rename, and the directory entry is fsynced
+after it, so a power cut can leave a stale miss but never a
+truncated-but-renamed entry (the corrupt-unlink path below then only
+ever fires on real corruption).
+
 Controls:
 
 * ``REPRO_CACHE=0`` (env) or ``ResultCache(enabled=False)`` disables all
@@ -25,12 +40,16 @@ the cache key).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import pickle
 import tempfile
+import zipfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
+
+import numpy as np
 
 from repro.core.simulator import SimulationResult
 from repro.runner.spec import ResultSummary, RunSpec
@@ -51,6 +70,78 @@ def cache_enabled_by_env() -> bool:
 
 def default_cache_root() -> Path:
     return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_DIRNAME)
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a crash."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _load_npz_mmap(path: Path) -> Dict[str, np.ndarray]:
+    """Read-only memory-mapped arrays from an uncompressed NPZ.
+
+    ``np.load(..., mmap_mode="r")`` silently falls back to a full read
+    for zip archives, so this walks the zip members itself: skip each
+    member's local file header, parse the ``.npy`` header, and map the
+    raw data region with ``np.memmap``.  Raises on anything unexpected
+    (compressed member, object dtype, unknown npy version) — the caller
+    falls back to a plain ``np.load``.
+    """
+    from numpy.lib import format as npformat
+
+    out: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as zf:
+        infos = list(zf.infolist())
+    with path.open("rb") as fh:
+        for info in infos:
+            key = info.filename
+            if key.endswith(".npy"):
+                key = key[:-4]
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError("compressed NPZ member")
+            fh.seek(info.header_offset)
+            local = fh.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                raise ValueError("bad zip local header")
+            nlen = int.from_bytes(local[26:28], "little")
+            elen = int.from_bytes(local[28:30], "little")
+            fh.seek(info.header_offset + 30 + nlen + elen)
+            version = npformat.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = npformat.read_array_header_1_0(fh)
+            elif version == (2, 0):
+                shape, fortran, dtype = npformat.read_array_header_2_0(fh)
+            else:
+                raise ValueError(f"unsupported npy version {version}")
+            if dtype.hasobject:
+                raise ValueError("object arrays cannot be mapped")
+            if any(s == 0 for s in shape):
+                out[key] = np.empty(shape, dtype=dtype)
+                continue
+            out[key] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=fh.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return out
+
+
+def _load_sidecar(path: Path) -> Dict[str, np.ndarray]:
+    try:
+        return _load_npz_mmap(path)
+    except FileNotFoundError:
+        raise
+    except Exception:
+        # Unexpected layout (future numpy, exotic dtype): plain read.
+        with np.load(path, allow_pickle=False) as z:
+            return {k: z[k] for k in z.files}
 
 
 class ResultCache:
@@ -88,6 +179,10 @@ class ResultCache:
         ext = "pkl" if full else "json"
         return self.root / digest[:2] / f"{digest}.{ext}"
 
+    @staticmethod
+    def _sidecar(path: Path) -> Path:
+        return path.with_suffix(".npz")
+
     # -- lookup --------------------------------------------------------------
     def get(self, spec: RunSpec):
         """The cached payload for ``spec``, or ``None`` on a miss."""
@@ -107,15 +202,21 @@ class ResultCache:
                 if not isinstance(payload, SimulationResult):
                     raise ValueError("unexpected payload type")
             else:
-                payload = ResultSummary.from_json(
-                    json.loads(path.read_text())
-                )
+                d = json.loads(path.read_text())
+                manifest = d.pop("__arrays__", None)
+                payload = ResultSummary.from_json(d)
+                if manifest:
+                    arrays = _load_sidecar(self._sidecar(path))
+                    for name in manifest:
+                        setattr(payload, name, arrays[name])
         except Exception:
-            # Corrupt/truncated/stale-format entry: drop it, treat as miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Corrupt/truncated/stale-format entry (or an entry whose
+            # array sidecar went missing): drop it whole, treat as miss.
+            for victim in (path, self._sidecar(path)):
+                try:
+                    victim.unlink()
+                except OSError:
+                    pass
             self.corrupt += 1
             self.misses += 1
             return None
@@ -132,30 +233,71 @@ class ResultCache:
             return False
         path = self._path(digest, spec.full)
         path.parent.mkdir(parents=True, exist_ok=True)
-        # A pid-suffixed temp name is NOT unique across threads sharing a
-        # process (in-process pools, nested runners): two writers would
-        # interleave into the same temp file and publish garbage.  mkstemp
-        # gives each writer its own file in the destination directory, so
-        # os.replace stays atomic and same-filesystem.
+        try:
+            if spec.full:
+                self._write_atomic(
+                    path,
+                    lambda fh: pickle.dump(
+                        payload, fh, protocol=pickle.HIGHEST_PROTOCOL
+                    ),
+                )
+            else:
+                arrays = {
+                    name: np.asarray(getattr(payload, name))
+                    for name in ResultSummary._ARRAYS
+                    if getattr(payload, name) is not None
+                }
+                d = {
+                    f.name: getattr(payload, f.name)
+                    for f in dataclasses.fields(payload)
+                    if f.name not in ResultSummary._ARRAYS
+                }
+                for name in ResultSummary._ARRAYS:
+                    d[name] = None
+                if arrays:
+                    d["__arrays__"] = sorted(arrays)
+                    # Sidecar lands (and is durable) before the json that
+                    # references it: a crash in between leaves an orphan
+                    # sidecar, never a dangling manifest.
+                    self._write_atomic(
+                        self._sidecar(path), lambda fh: np.savez(fh, **arrays)
+                    )
+                blob = json.dumps(d)
+                self._write_atomic(
+                    path, lambda fh: fh.write(blob.encode("utf-8"))
+                )
+            _fsync_dir(path.parent)
+        except Exception:
+            return False
+        return True
+
+    @staticmethod
+    def _write_atomic(path: Path, write) -> None:
+        """Write via fsynced temp file + atomic rename.
+
+        A pid-suffixed temp name is NOT unique across threads sharing a
+        process (in-process pools, nested runners): two writers would
+        interleave into the same temp file and publish garbage.  mkstemp
+        gives each writer its own file in the destination directory, so
+        os.replace stays atomic and same-filesystem; the pre-rename fsync
+        guarantees the renamed entry is never a truncated shell.
+        """
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.name + ".", suffix=".tmp"
         )
         tmp = Path(tmp_name)
         try:
-            if spec.full:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            else:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write(json.dumps(payload.to_json()))
+            with os.fdopen(fd, "wb") as fh:
+                write(fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)  # atomic: readers never see partial files
         except Exception:
             try:
                 tmp.unlink()
             except OSError:
                 pass
-            return False
-        return True
+            raise
 
     def stats(self) -> dict:
         return {

@@ -13,6 +13,13 @@ construct a **fresh** scheduler, run the simulation, and send back a
 compact :class:`~repro.runner.spec.ResultSummary` — or the full
 :class:`~repro.core.simulator.SimulationResult` when the spec asks for it.
 
+Array-bearing summaries (``arrays=True``, not ``full``) do not pickle
+their per-flow/per-coflow columns through the result pipe: workers export
+them to a ``multiprocessing.shared_memory`` segment and ship a
+header-only descriptor instead (see :mod:`repro.runner.shm`); the parent
+reattaches the columns before caching.  Transport never changes values —
+the pooled results stay bit-identical to sequential at any worker count.
+
 Determinism: the engine is deterministic given a workload, workloads are
 regenerated from per-spec seeds with ``np.random.default_rng``, and
 worker processes run the same interpreter + numpy as the parent, so
@@ -88,6 +95,15 @@ class RunOutcome:
     #: populated for ``telemetry=True`` specs that actually executed
     #: (cache-served cells ran nothing, so they carry no snapshot).
     telemetry: Optional[object] = None
+    #: shared-memory descriptor for the summary's array columns, set by
+    #: the pooled wrapper in the worker and consumed (attached + cleared)
+    #: by the parent's collection loop — never survives run_specs.
+    shm: Optional[object] = None
+    #: collection-path evidence left behind by ``_reattach``: whether this
+    #: cell's arrays came home over shared memory, and how many segment
+    #: bytes that moved off the pickle pipe.
+    shm_collected: bool = False
+    shm_bytes: int = 0
 
     @property
     def payload(self):
@@ -130,6 +146,55 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     return RunOutcome(
         key=key, summary=summary, wall_s=clock.wall_s, telemetry=snapshot
     )
+
+
+def _execute_spec_pooled(spec: RunSpec) -> RunOutcome:
+    """Worker-side wrapper: run the spec, move array columns to shm.
+
+    Only array-bearing summaries are rewritten — full results and plain
+    summaries pickle as before.  If the export itself fails the segment
+    is already unlinked (``export_arrays`` guarantees it) and the
+    summary ships whole over the pipe, so the fallback is silent and
+    value-identical.
+    """
+    out = execute_spec(spec)
+    if spec.arrays and not spec.full and out.summary is not None:
+        from repro.runner import shm as shm_mod
+
+        summary = out.summary
+        arrays = {
+            name: getattr(summary, name)
+            for name in summary._ARRAYS
+            if getattr(summary, name) is not None
+        }
+        if arrays:
+            try:
+                block = shm_mod.export_arrays(arrays)
+            except OSError:
+                block = None  # no usable /dev/shm: pickle the arrays
+            if block is not None:
+                for name in arrays:
+                    setattr(summary, name, None)
+                out.shm = block
+    return out
+
+
+def _reattach(out: RunOutcome) -> RunOutcome:
+    """Parent-side: restore array columns from the outcome's shm block."""
+    if out.shm is not None:
+        from repro.runner import shm as shm_mod
+
+        block, out.shm = out.shm, None
+        try:
+            arrays = shm_mod.attach_arrays(block)
+        except BaseException:
+            shm_mod.discard(block)
+            raise
+        for name, arr in arrays.items():
+            setattr(out.summary, name, arr)
+        out.shm_collected = True
+        out.shm_bytes = block.size
+    return out
 
 
 def run_specs(
@@ -186,19 +251,35 @@ def run_specs(
         pending = {}
         queue = iter(cold)
         exhausted = False
-        while pending or not exhausted:
-            while not exhausted and len(pending) < 2 * n_workers:
-                i = next(queue, None)
-                if i is None:
-                    exhausted = True
+        try:
+            while pending or not exhausted:
+                while not exhausted and len(pending) < 2 * n_workers:
+                    i = next(queue, None)
+                    if i is None:
+                        exhausted = True
+                        break
+                    pending[pool.submit(_execute_spec_pooled, specs[i])] = i
+                if not pending:
                     break
-                pending[pool.submit(execute_spec, specs[i])] = i
-            if not pending:
-                break
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i = pending.pop(fut)
+                    out = _reattach(fut.result())  # re-raises worker exceptions
+                    store.put(specs[i], out.payload)
+                    outcomes[i] = out
+        except BaseException:
+            # A failing cell must not strand segments exported by cells
+            # that already finished: drain whatever completed and discard
+            # their unconsumed blocks before propagating.
+            from repro.runner import shm as shm_mod
+
+            done, _ = wait(pending)
             for fut in done:
-                i = pending.pop(fut)
-                out = fut.result()  # re-raises worker exceptions
-                store.put(specs[i], out.payload)
-                outcomes[i] = out
+                try:
+                    leftover = fut.result()
+                except BaseException:
+                    continue
+                if leftover.shm is not None:
+                    shm_mod.discard(leftover.shm)
+            raise
     return outcomes  # type: ignore[return-value]

@@ -104,6 +104,10 @@ class RunTelemetry:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_corrupt: int = 0
+    #: cells whose array columns came home over shared memory, and the
+    #: total segment bytes that never touched the pickle pipe.
+    shm_cells: int = 0
+    shm_bytes: int = 0
 
     @classmethod
     def collect(
@@ -119,6 +123,9 @@ class RunTelemetry:
             tele.cells += 1
             if out.cached:
                 tele.cached_cells += 1
+            if getattr(out, "shm_collected", False):
+                tele.shm_cells += 1
+                tele.shm_bytes += int(getattr(out, "shm_bytes", 0))
             if out.telemetry is not None:
                 tele.snapshots.append(out.telemetry)
         if cache is not None:

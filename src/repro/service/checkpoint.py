@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.core.coflow import coflow_id_watermark, ensure_coflow_ids_above
 from repro.core.flow import ensure_flow_ids_above, flow_id_watermark
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.service.arrivals import ArrivalSource, SourceSpec
 
 __all__ = [
@@ -78,11 +78,25 @@ def save_checkpoint(
     ``setup`` is required to restore without caller-provided plumbing;
     ``source``/``source_spec`` record the arrival stream and its cursor.
     Raises :class:`ConfigurationError` for setups with background
-    traffic — its closures are not checkpointable state.
+    traffic — its closures are not checkpointable state — and
+    :class:`CheckpointError` while scheduled capacity events are still
+    pending: ``repro-checkpoint-v1`` does not guarantee a faithful
+    restore of the capacity-event queue, and a snapshot that silently
+    dropped (or re-ordered) pending events would diverge from the
+    uninterrupted run.  Checkpoint before scheduling the events or after
+    the engine has applied them.
     """
     if setup is not None and getattr(setup, "background", None) is not None:
         raise ConfigurationError(
             "cannot checkpoint a setup with background traffic"
+        )
+    pending_caps = len(getattr(sim, "_cap_events", ()) or ())
+    if pending_caps:
+        raise CheckpointError(
+            f"cannot checkpoint with {pending_caps} pending capacity "
+            f"event(s): {CHECKPOINT_SCHEMA} does not guarantee faithful "
+            f"restore of the scheduled capacity-event queue — checkpoint "
+            f"before scheduling capacity changes or after they apply"
         )
     state = sim.export_state()
     payload: Dict[str, np.ndarray] = {}

@@ -1,0 +1,370 @@
+"""Every decision-kernel backend is bit-identical to the python one.
+
+The ``kernel=`` knob is excluded from result-cache digests on the
+strength of one claim: backends change *where* the decision arithmetic
+runs, never *what* it computes.  This module is that claim's enforcement
+— the same pools, gamma reductions and whole simulations go through
+``python``, ``threaded`` and ``compiled`` (which resolves to ``threaded``
+when numba is absent) and must come back ``np.array_equal``-exact, not
+merely close.
+
+Coverage deliberately spans every dispatch regime:
+
+* hypothesis pools around and below the scalar-tail crossover
+  (``tail=0`` forces the vectorized rounds, the production default lets
+  the list tail take over);
+* the backfill (no-demands) fill against zero-headroom capacities — the
+  prefilter / drained-group collapse path;
+* ``segment_max`` including ``reduceat``'s empty-segment quirk;
+* deterministic big pools that force the multi-shard plan
+  (block-diagonal components + a lowered shard floor) and multi-chunk
+  rounds (a lowered ``CHUNK_ROWS``), each checked against the untouched
+  single-shard/single-chunk plan as well as across backends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fvdf, kernels
+from repro.core import rate_allocation as ra
+from repro.core.kernels import fill, partition
+
+BACKENDS = ("python", "threaded", "compiled")
+N_PORTS = 5
+N_RACKS = 2
+TAILS = [0, ra._SCALAR_TAIL]
+
+
+@st.composite
+def fabrics(draw, max_flows=24):
+    """Random fabric: big-switch ports plus optional rack-uplink dims."""
+    n = draw(st.integers(1, max_flows))
+    ints = st.integers(0, N_PORTS - 1)
+    src = np.array(draw(st.lists(ints, min_size=n, max_size=n)))
+    dst = np.array(draw(st.lists(ints, min_size=n, max_size=n)))
+    caps = st.floats(0.05, 10.0, allow_nan=False)
+    ci = np.array(draw(st.lists(caps, min_size=N_PORTS, max_size=N_PORTS)))
+    co = np.array(draw(st.lists(caps, min_size=N_PORTS, max_size=N_PORTS)))
+    extra = None
+    if draw(st.booleans()):
+        groups = np.array(
+            draw(
+                st.lists(
+                    st.integers(-1, N_RACKS - 1), min_size=n, max_size=n
+                )
+            )
+        )
+        ecaps = np.array(
+            draw(st.lists(caps, min_size=N_RACKS, max_size=N_RACKS))
+        )
+        extra = [(groups, ecaps)]
+    perm = np.array(draw(st.permutations(range(n))), dtype=np.intp)
+    demands = np.array(
+        draw(
+            st.lists(
+                st.floats(0.0, 5.0, allow_nan=False), min_size=n, max_size=n
+            )
+        )
+    )
+    return src, dst, ci, co, extra, perm, demands
+
+
+def _copy_extra(extra):
+    if extra is None:
+        return None
+    return [(g, c.copy()) for g, c in extra]
+
+
+def _fill_under(name, fab, tail, demands):
+    """Run one priority_fill under backend ``name``; rates + final caps."""
+    src, dst, ci, co, extra, perm, _ = fab
+    dims = ra.build_dims(src, dst, ci.copy(), co.copy(), _copy_extra(extra))
+    old = ra._SCALAR_TAIL
+    ra._SCALAR_TAIL = tail
+    try:
+        with kernels.use_kernel(name):
+            got = ra.priority_fill(perm, dims, demands=demands, n=len(src))
+    finally:
+        ra._SCALAR_TAIL = old
+    return got, [caps for _, caps in dims]
+
+
+@pytest.mark.parametrize("tail", TAILS)
+@given(fabrics())
+@settings(max_examples=120, deadline=None)
+def test_demand_fill_bitwise_across_backends(tail, fab):
+    demands = fab[-1]
+    ref_rates, ref_caps = _fill_under("python", fab, tail, demands)
+    for name in BACKENDS[1:]:
+        rates, caps = _fill_under(name, fab, tail, demands)
+        assert np.array_equal(rates, ref_rates), name
+        for got, want in zip(caps, ref_caps):
+            assert np.array_equal(got, want), name
+
+
+@pytest.mark.parametrize("tail", TAILS)
+@given(fabrics())
+@settings(max_examples=120, deadline=None)
+def test_backfill_bitwise_across_backends(tail, fab):
+    """The no-demands backfill (FVDF's work-conserving pass)."""
+    ref_rates, ref_caps = _fill_under("python", fab, tail, None)
+    for name in BACKENDS[1:]:
+        rates, caps = _fill_under(name, fab, tail, None)
+        assert np.array_equal(rates, ref_rates), name
+        for got, want in zip(caps, ref_caps):
+            assert np.array_equal(got, want), name
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_backfill_zero_headroom_prefilter(name):
+    """Backfill against drained dimensions: the prefilter must grant
+    nothing through dead groups, identically on every backend."""
+    n = 12
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, N_PORTS, size=n)
+    dst = rng.integers(0, N_PORTS, size=n)
+    ci = np.array([0.0, 3.0, 0.0, 2.0, 1.0])  # two ingress ports drained
+    co = np.array([1.0, 0.0, 2.0, 0.0, 3.0])  # two egress ports drained
+    perm = np.arange(n, dtype=np.intp)
+    fab = (src, dst, ci, co, None, perm, None)
+    ref_rates, ref_caps = _fill_under("python", fab, 0, None)
+    rates, caps = _fill_under(name, fab, 0, None)
+    assert np.array_equal(rates, ref_rates)
+    for got, want in zip(caps, ref_caps):
+        assert np.array_equal(got, want)
+    drained = (ci == 0.0)[src] | (co == 0.0)[dst]
+    assert not rates[drained].any()
+
+
+# -- segment_max (the gamma reduction) ---------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_segment_max_bitwise_across_backends(data):
+    n = data.draw(st.integers(1, 40))
+    values = np.array(
+        data.draw(
+            st.lists(
+                st.floats(-1e6, 1e6, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    perm = np.array(data.draw(st.permutations(range(n))), dtype=np.intp)
+    n_seg = data.draw(st.integers(1, n))
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=n_seg - 1, max_size=n_seg - 1
+            )
+        )
+    )
+    starts = np.array([0] + cuts + [n], dtype=np.intp)
+    ref = np.maximum.reduceat(values[perm], starts[:-1])
+    for name in BACKENDS:
+        got = kernels.resolve_kernel(name).segment_max(values, perm, starts)
+        assert np.array_equal(got, ref), name
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_segment_max_empty_segment_quirk(name):
+    """Zero-length segments reproduce reduceat's documented behaviour
+    (``out[i] = values[perm][starts[i]]``) on every backend."""
+    values = np.array([5.0, -2.0, 7.0, 1.0])
+    perm = np.arange(4, dtype=np.intp)
+    starts = np.array([0, 2, 2, 4], dtype=np.intp)  # middle segment empty
+    got = kernels.resolve_kernel(name).segment_max(values, perm, starts)
+    assert np.array_equal(got, np.array([5.0, 7.0, 7.0]))
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_coflow_gamma_runs_through_active_kernel(name, monkeypatch):
+    """fvdf's module-level gamma wiring dispatches to the active kernel."""
+    calls = []
+
+    class Spy(kernels.DecisionKernel):
+        def segment_max(self, values, perm, starts):
+            calls.append(name)
+            return super().segment_max(values, perm, starts)
+
+    monkeypatch.setitem(kernels._INSTANCES, "python", Spy())
+    gamma_f = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+    perm = np.arange(5, dtype=np.intp)
+    starts = np.array([0, 2, 5], dtype=np.intp)
+    with kernels.use_kernel("python"):
+        got = kernels.active_kernel().segment_max(gamma_f, perm, starts)
+    assert calls and np.array_equal(got, np.array([3.0, 5.0]))
+
+
+# -- shard / chunk plans -----------------------------------------------------
+
+
+def _component_pool(n_comp=6, flows_per=40, seed=3):
+    """Block-diagonal fabric: component c only touches its own 2 ports."""
+    rng = np.random.default_rng(seed)
+    n = n_comp * flows_per
+    src = np.empty(n, dtype=np.int64)
+    dst = np.empty(n, dtype=np.int64)
+    for c in range(n_comp):
+        sl = slice(c * flows_per, (c + 1) * flows_per)
+        src[sl] = 2 * c
+        dst[sl] = 2 * c + 1
+    ci = np.full(2 * n_comp, 4.0)
+    co = np.full(2 * n_comp, 3.0)
+    perm = rng.permutation(n).astype(np.intp)
+    demands = rng.uniform(0.1, 2.0, size=n)
+    return src, dst, ci, co, None, perm, demands
+
+
+def test_multi_shard_plan_matches_single_shard():
+    """Lowering the shard floor activates the component decomposition;
+    grants and capacities must match the untouched single-shard plan
+    bitwise, on every backend."""
+    fab = _component_pool()
+    demands = fab[-1]
+    ref_rates, ref_caps = _fill_under("python", fab, 0, demands)
+
+    old_floor = fill.MIN_SHARD_ENTRIES
+    fill.MIN_SHARD_ENTRIES = 8
+    try:
+        # The plan must actually split now — otherwise this test is vacuous.
+        src, dst, *_ = fab
+        dims = ra.build_dims(src, dst, fab[2].copy(), fab[3].copy(), None)
+        order = fab[5]
+        gathers = ra.gather_groups(order, dims)
+        rows, rowg = _fused_rows(order, dims, gathers)
+        plan = fill._plan_shards(rows, rowg, order.size, sum(
+            len(c) for _, c in dims
+        ))
+        assert plan is not None and plan[2].size - 1 > 1
+        for name in BACKENDS:
+            rates, caps = _fill_under(name, fab, 0, demands)
+            assert np.array_equal(rates, ref_rates), name
+            for got, want in zip(caps, ref_caps):
+                assert np.array_equal(got, want), name
+    finally:
+        fill.MIN_SHARD_ENTRIES = old_floor
+
+
+def _fused_rows(order, dims, gathers):
+    """Rebuild the fused (entry, group) rows the fill would see, sorted
+    by fused group id — mirrors ``_fill_contended_demands``'s row prep
+    closely enough to interrogate the shard planner."""
+    sizes = [len(caps) for _, caps in dims]
+    goffs = np.concatenate(([0], np.cumsum(sizes))).astype(np.intp)
+    rows_l, rowg_l = [], []
+    for d, (groups, _caps) in enumerate(dims):
+        g = groups[order]
+        memb = g >= 0
+        idx = np.flatnonzero(memb)
+        rows_l.append(idx)
+        rowg_l.append(g[idx] + goffs[d])
+    rows = np.concatenate(rows_l) if rows_l else np.empty(0, dtype=np.intp)
+    rowg = (
+        np.concatenate(rowg_l) if rowg_l else np.empty(0, dtype=np.int64)
+    )
+    sort = np.argsort(rowg, kind="stable")
+    return rows[sort].astype(np.intp), rowg[sort]
+
+
+def test_multi_chunk_rounds_match_single_chunk():
+    """A lowered CHUNK_ROWS splits each round's row phase into many
+    segment-aligned chunks; the split must be invisible to the values."""
+    rng = np.random.default_rng(11)
+    n = 3000
+    src = rng.integers(0, 4, size=n)
+    dst = rng.integers(0, 4, size=n)
+    ci = np.full(4, 5.0)  # heavily overloaded: many rounds survive
+    co = np.full(4, 5.0)
+    perm = rng.permutation(n).astype(np.intp)
+    demands = rng.uniform(0.001, 0.02, size=n)
+    fab = (src, dst, ci, co, None, perm, demands)
+    ref_rates, ref_caps = _fill_under("python", fab, 64, demands)
+
+    old_chunk = partition.CHUNK_ROWS
+    partition.CHUNK_ROWS = 512
+    try:
+        for name in BACKENDS:
+            rates, caps = _fill_under(name, fab, 64, demands)
+            assert np.array_equal(rates, ref_rates), name
+            for got, want in zip(caps, ref_caps):
+                assert np.array_equal(got, want), name
+    finally:
+        partition.CHUNK_ROWS = old_chunk
+
+
+def test_chunk_bounds_are_segment_aligned():
+    seg_starts = np.array([0, 10, 25, 100, 4000, 7000], dtype=np.intp)
+    bounds = partition.chunk_bounds(9000, seg_starts, chunk=1000)
+    assert bounds[0] == 0 and bounds[-1] == 9000
+    inner = bounds[1:-1]
+    assert np.isin(inner, seg_starts).all()
+    assert (np.diff(bounds) > 0).all()
+
+
+def test_label_components_block_diagonal():
+    fab = _component_pool(n_comp=4, flows_per=16)
+    src, dst, ci, co, _, perm, _ = fab
+    dims = ra.build_dims(src, dst, ci.copy(), co.copy(), None)
+    gathers = ra.gather_groups(perm, dims)
+    rows, rowg = _fused_rows(perm, dims, gathers)
+    comp = partition.label_components(
+        rows, rowg, perm.size, sum(len(c) for _, c in dims)
+    )
+    assert comp is not None
+    # Entries in the same block share a label; across blocks they differ.
+    blocks = src[perm] // 2
+    for b in range(4):
+        labels = np.unique(comp[blocks == b])
+        assert labels.size == 1
+    assert np.unique(comp).size == 4
+
+
+# -- whole-simulation identity ------------------------------------------------
+
+
+def _run_sim(kernel):
+    from repro.analysis.harness import run_policy
+    from repro.schedulers import make_scheduler
+    from repro.traces.generator import WorkloadConfig, generate_workload
+
+    cfg = WorkloadConfig(num_coflows=30, num_ports=8, arrival_rate=50.0)
+    coflows = generate_workload(cfg, np.random.default_rng(123))
+    sched = make_scheduler("fvdf", kernel=kernel)
+    return run_policy(sched, coflows)
+
+
+def test_simulation_bitwise_identical_across_backends():
+    """End to end: FVDF runs (gamma reductions + priority fills at every
+    decision point) produce bitwise-equal FCT/CCT under every backend."""
+    ref = _run_sim("python")
+    for name in BACKENDS[1:]:
+        got = _run_sim(name)
+        assert np.array_equal(got.fct_array, ref.fct_array), name
+        assert np.array_equal(got.cct_array, ref.cct_array), name
+        assert got.makespan == ref.makespan, name
+
+
+def test_make_scheduler_rejects_unknown_kernel():
+    from repro.errors import ConfigurationError
+    from repro.schedulers import make_scheduler
+
+    with pytest.raises(ConfigurationError):
+        make_scheduler("fvdf", kernel="vectorized")
+
+
+def test_env_selection_and_fallback(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_KERNEL, "threaded")
+    assert kernels.resolve_kernel(None).name == "threaded"
+    monkeypatch.setenv(kernels.ENV_KERNEL, "nope")
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        kernels.resolve_kernel(None)
+    # compiled never errors without numba — it degrades to threaded.
+    if not kernels.have_numba():
+        assert kernels.resolve_kernel("compiled").name == "threaded"

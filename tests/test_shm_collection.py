@@ -1,0 +1,138 @@
+"""The shared-memory result transport changes nothing but the pipe.
+
+Array-bearing summaries travel out of pool workers as ``repro-shm-*``
+segments plus a header-only descriptor (:mod:`repro.runner.shm`).  Two
+properties are load-bearing and pinned here under real stress:
+
+* **identity** — a 4-worker × 50-spec sweep with per-flow arrays comes
+  back bit-identical (``ResultSummary.__eq__`` is exact) to the
+  sequential path, and the parent really did collect through shared
+  memory (the attach counter moved);
+* **hygiene** — ``/dev/shm`` holds zero ``repro-shm-*`` segments after
+  the pool shuts down, including when a worker raises mid-sweep and the
+  runner has to drain already-exported blocks it will never consume.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentSetup
+from repro.runner import RunSpec, WorkloadSpec, run_specs
+from repro.runner import shm
+from repro.traces.generator import WorkloadConfig
+from repro.units import mbps
+
+DEV_SHM = "/dev/shm"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(DEV_SHM) or not shm.shm_enabled(),
+    reason="no usable /dev/shm on this platform",
+)
+
+
+def _leaked_segments():
+    return sorted(glob.glob(f"{DEV_SHM}/{shm.SHM_PREFIX}*"))
+
+
+def _specs(n=50, key_prefix="cell"):
+    """Tiny generated cells — regenerated in-worker, arrays shipped back."""
+    cfg = WorkloadConfig(num_coflows=4, num_ports=8, width=(1, 4))
+    return [
+        RunSpec(
+            policy="fvdf",
+            workload=WorkloadSpec.generated(cfg, seed=1000 + i),
+            key=f"{key_prefix}/{i}",
+            arrays=True,
+            setup=ExperimentSetup(
+                num_ports=8, bandwidth=mbps(100), slice_len=0.01
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+class TestShmStress:
+    def test_four_workers_fifty_specs_bit_identical_no_leaks(self):
+        assert _leaked_segments() == []
+        specs = _specs(50)
+        seq = run_specs(specs, workers=0, cache=False)
+        before = shm.ATTACHED
+        par = run_specs(specs, workers=4, cache=False)
+        # Collection really went out of band — every cell attached once.
+        assert shm.ATTACHED - before == len(specs)
+        assert [o.key for o in par] == [o.key for o in seq]
+        for s, p in zip(seq, par):
+            assert p.summary is not None and p.shm is None
+            for name in p.summary._ARRAYS:
+                arr = getattr(p.summary, name)
+                assert isinstance(arr, np.ndarray)
+                assert np.array_equal(arr, getattr(s.summary, name))
+            assert p.summary == s.summary, p.key
+        assert _leaked_segments() == []
+
+    def test_transport_off_still_identical(self, monkeypatch):
+        monkeypatch.setenv(shm.ENV_SHM, "0")
+        specs = _specs(8, key_prefix="off")
+        seq = run_specs(specs, workers=0, cache=False)
+        before = shm.ATTACHED
+        par = run_specs(specs, workers=2, cache=False)
+        assert shm.ATTACHED == before  # everything pickled whole
+        for s, p in zip(seq, par):
+            assert p.summary == s.summary
+        assert _leaked_segments() == []
+
+    def test_worker_exception_leaves_no_segments(self):
+        assert _leaked_segments() == []
+        specs = _specs(12, key_prefix="boom")
+        # One poisoned cell in the middle: its worker raises after several
+        # healthy cells have already exported segments the parent may
+        # never attach (the drain path must discard them).
+        specs[7] = RunSpec(
+            policy="fvdf",
+            workload=WorkloadSpec.from_callable(_exploding_factory, seed=7),
+            key="boom/poison",
+            arrays=True,
+            setup=ExperimentSetup(
+                num_ports=8, bandwidth=mbps(100), slice_len=0.01
+            ),
+        )
+        with pytest.raises(RuntimeError, match="poisoned workload"):
+            run_specs(specs, workers=4, cache=False)
+        assert _leaked_segments() == []
+
+
+def _exploding_factory(seed):
+    raise RuntimeError("poisoned workload cell")
+
+
+class TestShmPrimitives:
+    def test_export_attach_roundtrip(self):
+        arrays = {
+            "a": np.arange(7, dtype=np.float64),
+            "b": np.array([], dtype=np.float64),
+            "c": np.arange(12, dtype=np.int64).reshape(3, 4),
+        }
+        block = shm.export_arrays(arrays)
+        assert block is not None
+        assert block.name.startswith(shm.SHM_PREFIX)
+        # Offsets are 64-byte aligned for each column.
+        assert all(col.offset % 64 == 0 for col in block.columns)
+        got = shm.attach_arrays(block)
+        for key, arr in arrays.items():
+            assert np.array_equal(got[key], arr)
+            assert got[key].dtype == arr.dtype
+        assert _leaked_segments() == []
+
+    def test_discard_unlinks(self):
+        block = shm.export_arrays({"x": np.ones(5)})
+        assert block is not None
+        shm.discard(block)
+        assert _leaked_segments() == []
+        shm.discard(block)  # idempotent on an already-unlinked block
+
+    def test_export_empty_is_none(self):
+        assert shm.export_arrays({}) is None
+        assert shm.export_arrays({"x": None}) is None
