@@ -204,10 +204,16 @@ def bench_entry(repeats: int = 3, label: str = "", grid=None) -> Dict:
 
 
 def _kernel_backends() -> List[str]:
-    """Backends worth timing separately on this host (python first)."""
+    """Backends worth timing separately on this host (python first).
+
+    ``process`` is always timed: without a usable shm transport (or
+    below two shards of work) it degrades to threaded dispatch, and the
+    entry's per-run ``resolved`` field plus the ``backends``
+    availability block make that state visible.
+    """
     from repro.core import kernels
 
-    names = ["python", "threaded"]
+    names = ["python", "threaded", "process"]
     if kernels.have_numba():
         names.append("compiled")  # distinct from threaded only with numba
     return names
@@ -218,8 +224,11 @@ def _run_kernel_case(case: BenchCase, kernel: str, repeats: int) -> Dict:
 
     Alongside the timing, the per-flow/per-coflow results are hashed so
     the entry can *prove* the backends agreed bitwise, not just that the
-    suite didn't crash.
+    suite didn't crash — and the *resolved* backend is recorded next to
+    the requested one, so a ``compiled → threaded`` fallback is a
+    visible label, not a mystery timing.
     """
+    from repro.core import kernels
     from repro.schedulers import make_scheduler
 
     workload = case.workload()
@@ -244,6 +253,7 @@ def _run_kernel_case(case: BenchCase, kernel: str, repeats: int) -> Dict:
         fingerprint = fp.hexdigest()
     return {
         "kernel": kernel,
+        "resolved": kernels.resolved_name(kernel),
         "wall_s": round(best, 6),
         "decisions": decisions,
         "decisions_per_sec": round(decisions / best, 2) if best > 0 else None,

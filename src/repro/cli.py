@@ -59,6 +59,7 @@ Examples::
     python -m repro bench --bigtrace --check
     python -m repro bench --bigtrace --smoke
     python -m repro bench --kernels --check
+    python -m repro bench --kernels --smoke --check
     python -m repro sweep --workers 4
     python -m repro sweep --smoke
     python -m repro sweep --bench --check
@@ -310,10 +311,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Run the hot-path scaling grid, append to the perf trajectory."""
     from repro.analysis import perfbench
 
-    if args.bigtrace or args.smoke:
-        return _bench_bigtrace(args)
+    # --kernels wins the routing so `--kernels --smoke` reaches the
+    # seconds-scale kernel identity check, not the bigtrace smoke.
     if args.kernels:
         return _bench_kernels(args)
+    if args.bigtrace or args.smoke:
+        return _bench_bigtrace(args)
 
     entry = perfbench.bench_entry(repeats=args.repeats, label=args.label)
     rows = [
@@ -356,13 +359,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _bench_kernels(args: argparse.Namespace) -> int:
-    """`bench --kernels`: compare decision-kernel backends on one case."""
+    """`bench --kernels`: compare decision-kernel backends on one case.
+
+    ``--smoke`` swaps in the seconds-scale grid case with a single
+    repeat and never appends — the CI-friendly identity check.
+    """
     from repro.analysis import perfbench
 
-    entry = perfbench.kernel_entry(repeats=args.repeats, label=args.label)
+    smoke = getattr(args, "smoke", False)
+    entry = perfbench.kernel_entry(
+        repeats=1 if smoke else args.repeats,
+        label=args.label or ("kernel-backends-smoke" if smoke else ""),
+        case_name="small" if smoke else perfbench.KERNEL_CASE,
+    )
     rows = [
         [
             r["kernel"],
+            # requested -> resolved: silent fallbacks become visible
+            # labels (e.g. "compiled -> threaded" without numba).
+            r["kernel"] if r["resolved"] == r["kernel"]
+            else f"-> {r['resolved']}",
             f"{r['wall_s']:.3f}s",
             str(r["decisions"]),
             f"{r['decisions_per_sec']:.0f}",
@@ -371,7 +387,7 @@ def _bench_kernels(args: argparse.Namespace) -> int:
         for r in entry["runs"]
     ]
     print(render_table(
-        ["backend", "wall", "decisions", "dec/s", "fingerprint"],
+        ["backend", "resolved", "wall", "decisions", "dec/s", "fingerprint"],
         rows,
         title=f"decision-kernel backends on case "
               f"'{entry['case']['name']}' (best of {entry['repeats']}, "
@@ -386,7 +402,7 @@ def _bench_kernels(args: argparse.Namespace) -> int:
         f"{'asserted' if sp['asserted'] else 'informational'})"
     )
     out = Path(args.out) if args.out else perfbench.default_bench_path()
-    if not args.dry_run:
+    if not args.dry_run and not smoke:
         perfbench.append_entry(out, entry)
         print(f"trajectory appended -> {out}")
     if args.check:
@@ -966,8 +982,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(identity always asserted with --check; the 1.5x "
                         "floor only on 4+-core hosts)")
     p.add_argument("--smoke", action="store_true",
-                   help="with --bigtrace: seconds-scale CI case — verify "
-                        "bit-identity, skip the speedup floor, no append")
+                   help="with --bigtrace or --kernels: seconds-scale CI "
+                        "case — verify bit-identity, skip the speedup "
+                        "floor, no append")
     p.add_argument("--npz", default=None,
                    help="with --bigtrace: save the recorder arm's columnar "
                         "trace to this .npz path")

@@ -23,14 +23,25 @@ Backends
     numba ``@njit`` scalar tail and ``prange`` segment-max when the
     numba wheel is importable; otherwise resolves to ``threaded`` (the
     documented fallback — nothing in this repo *requires* numba).
+``process``
+    Contention-component shards execute on a lazily-spawned persistent
+    worker-process pool, exchanging shard columns through
+    :mod:`repro.runner.shm` descriptors (no pickle on array paths) —
+    sidesteps the GIL for the Python-level round orchestration.  Chunk
+    and tail dispatch inherit from ``threaded``; single-shard pools
+    never touch the pool, so requesting it is always safe.
 ``auto``
-    ``compiled`` when numba imports, else ``threaded`` on multi-core
-    hosts, else ``python``.
+    ``compiled`` when numba imports; else ``process`` on hosts with
+    :data:`PROCESS_AUTO_CORES`+ cores and a usable shared-memory
+    transport; else ``threaded`` on multi-core hosts, else ``python``.
 
 Selection: the ``REPRO_KERNEL`` environment variable supplies the
 default; ``make_scheduler(..., kernel=...)`` / ``RunSpec(kernel=...)``
 override per scheduler; :func:`use_kernel` scopes a choice to a block
-(the simulator wraps each run in it).
+(the simulator wraps each run in it).  Because ``compiled`` (and
+``auto``) can resolve to a *different* backend than requested, telemetry
+and the kernel bench record :func:`resolved_name` next to the request —
+silent fallbacks should be visible, not discoverable by timing.
 """
 
 from __future__ import annotations
@@ -51,7 +62,11 @@ from repro.errors import ConfigurationError
 ENV_KERNEL = "REPRO_KERNEL"
 
 #: Accepted ``REPRO_KERNEL`` / ``kernel=`` values.
-KERNEL_NAMES = ("auto", "python", "threaded", "compiled")
+KERNEL_NAMES = ("auto", "python", "threaded", "compiled", "process")
+
+#: ``auto`` only picks the process backend with at least this many
+#: usable cores — below that the fork/shm overhead beats the GIL win.
+PROCESS_AUTO_CORES = 4
 
 
 def usable_cores() -> int:
@@ -77,6 +92,22 @@ class DecisionKernel:
     def run_tasks(self, thunks: Sequence[Callable[[], object]]) -> List[object]:
         """Execute independent thunks; the reference runs them in order."""
         return [t() for t in thunks]
+
+    def run_shards(
+        self, shards: Sequence["fill.ShardTask"], tail: int
+    ) -> List[object]:
+        """Execute contention-component shards; one ``(grants, caps)``
+        pair per shard, in shard order.
+
+        The default funnels the explicit :class:`~repro.core.kernels.
+        fill.ShardTask` payloads through :meth:`run_tasks` (serial here,
+        thread-pool in :class:`ThreadedKernel`), preserving the
+        pre-payload closure behaviour bit for bit; the process backend
+        overrides this to ship the columns to worker processes instead.
+        """
+        return self.run_tasks(
+            [lambda sh=sh: fill.run_shard(self, sh, tail) for sh in shards]
+        )
 
     def fill_tail(self, grants, ids, wsub, memb, lsafe, caps, rows, rowg) -> None:
         """Settle a small pool flow-by-flow (fused coordinates)."""
@@ -150,10 +181,23 @@ _HAVE_NUMBA: Optional[bool] = None
 _INSTANCES: Dict[str, DecisionKernel] = {}
 
 
+def _process_usable() -> bool:
+    """Whether the process backend could actually dispatch shards here
+    (shared-memory transport up, not already inside a pool worker)."""
+    if os.environ.get("REPRO_IN_WORKER"):
+        return False
+    from repro.runner import shm
+
+    return shm.shm_enabled()
+
+
 def _auto_backend() -> str:
     if have_numba():
         return "compiled"
-    return "threaded" if usable_cores() >= 2 else "python"
+    cores = usable_cores()
+    if cores >= PROCESS_AUTO_CORES and _process_usable():
+        return "process"
+    return "threaded" if cores >= 2 else "python"
 
 
 def _instance(name: str) -> DecisionKernel:
@@ -171,6 +215,10 @@ def _instance(name: str) -> DecisionKernel:
                 # Documented fallback: requesting the compiled backend
                 # without numba degrades to threaded, never errors.
                 inst = _instance("threaded")
+        elif name == "process":
+            from repro.core.kernels import process
+
+            inst = process.ProcessKernel()
         else:  # pragma: no cover - guarded by resolve_kernel
             raise ConfigurationError(f"unknown kernel backend {name!r}")
         _INSTANCES[name] = inst
@@ -184,24 +232,44 @@ def resolve_kernel(
 
     ``None`` defers to ``$REPRO_KERNEL`` (itself defaulting to
     ``auto``); instances pass through; names come from
-    :data:`KERNEL_NAMES`.  Results are bit-identical across backends,
-    so this choice is a pure performance knob — it is deliberately
-    excluded from cache digests.
+    :data:`KERNEL_NAMES` (case/whitespace-insensitive).  Unknown names
+    raise :class:`~repro.errors.ConfigurationError` naming the source
+    (argument vs environment), and raising never mutates any selection
+    state — a failed resolve leaves the active kernel untouched.
+    Results are bit-identical across backends, so this choice is a pure
+    performance knob — it is deliberately excluded from cache digests.
     """
     if isinstance(kernel, DecisionKernel):
         return kernel
     name = kernel
+    source = "kernel argument"
     if name is None:
-        name = os.environ.get(ENV_KERNEL) or "auto"
+        name = os.environ.get(ENV_KERNEL)
+        if name is not None and name.strip():
+            source = f"${ENV_KERNEL}"
+        else:
+            name = "auto"
+    requested = name
     name = str(name).strip().lower()
     if name not in KERNEL_NAMES:
         raise ConfigurationError(
-            f"unknown kernel backend {kernel!r}; choose from "
-            + ", ".join(KERNEL_NAMES)
+            f"unknown kernel backend {requested!r} (from {source}); "
+            "choose from " + ", ".join(KERNEL_NAMES)
         )
     if name == "auto":
         name = _auto_backend()
     return _instance(name)
+
+
+def resolved_name(kernel: Union[None, str, DecisionKernel] = None) -> str:
+    """The concrete backend a request resolves to *right now*.
+
+    This is what telemetry and the kernel bench record next to the
+    requested name: ``auto`` pins down to a real backend, and a
+    ``compiled`` request without numba visibly reports ``threaded``
+    instead of silently timing the fallback.
+    """
+    return resolve_kernel(kernel).name
 
 
 _ACTIVE: contextvars.ContextVar[Optional[DecisionKernel]] = contextvars.ContextVar(
@@ -220,7 +288,14 @@ def active_kernel() -> DecisionKernel:
 def use_kernel(
     kernel: Union[None, str, DecisionKernel] = None
 ) -> Iterator[DecisionKernel]:
-    """Scope a backend choice to a block (re-entrant, context-local)."""
+    """Scope a backend choice to a block (re-entrant, context-local).
+
+    Exception-safe on both edges: the request resolves *before* the
+    prior value is replaced (an unknown name raises without touching
+    selection state), and the ``finally`` restores the prior backend no
+    matter how the body exits — an exception escaping one run can never
+    leak its kernel choice into the next.
+    """
     token = _ACTIVE.set(resolve_kernel(kernel))
     try:
         yield _ACTIVE.get()
@@ -239,5 +314,13 @@ def available_backends() -> Dict[str, dict]:
         info["compiled"] = {"available": True}
     else:
         info["compiled"] = {"available": False, "fallback": "threaded"}
+    from repro.core.kernels import process as process_mod
+
+    if _process_usable():
+        info["process"] = {
+            "available": True, "workers": process_mod.pool_workers(),
+        }
+    else:
+        info["process"] = {"available": False, "fallback": "threaded"}
     info["auto"] = {"resolves_to": _auto_backend(), "cores": cores}
     return info

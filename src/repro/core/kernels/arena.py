@@ -1,0 +1,181 @@
+"""Generation-stamped scratch arenas for the decision hot path.
+
+The contended prefix-fits rounds, the backfill rounds and the
+simulator's view gathers all used to allocate fresh numpy scratch every
+round (``np.full``/``np.empty``/fancy-index copies) and drop it on the
+floor a few microseconds later.  At trace scale that is tens of
+thousands of short-lived allocations per simulated second — pure
+allocator churn on the decision path.
+
+A :class:`ScratchArena` replaces that churn with a small dict of
+preallocated, growable buffers:
+
+* :meth:`ScratchArena.take` hands out the first ``n`` elements of the
+  buffer registered under ``key`` (growing it geometrically on demand).
+  Buffer contents are **unspecified** — callers must fully overwrite
+  what they take (every adopted site writes through ``out=``/``[:] =``
+  before reading), which is what makes reuse value-neutral;
+* buffers carrying state *across* a compaction step use **flip parity**
+  (alternating ``(name, 0)`` / ``(name, 1)`` keys) so a gather never
+  reads the buffer it is writing — numpy leaves overlapping
+  ``np.take``/``np.compress`` undefined;
+* the arena is **generation-stamped**: :meth:`ScratchArena.invalidate`
+  bumps the generation when the caller's cached indices were rebuilt
+  from scratch (cancellation, mid-run submit full regroups), and
+  :meth:`ScratchArena.clear` additionally drops the buffers (state
+  eviction).  The stamp is observability for tests and debugging — the
+  full-overwrite contract is what guarantees correctness.
+
+Threading: round scratch is reached through :func:`local_arena`, a
+thread-local accessor, because shard tasks run concurrently on the
+kernel thread pool.  Buffers therefore persist per thread, bounded by
+the largest pool that thread ever filled.
+
+``REPRO_ARENA=0`` (or :func:`set_enabled`\\ ``(False)``) swaps every
+accessor to the :class:`NullArena`, whose ``take`` is a plain
+``np.empty`` — exactly the pre-arena allocation behaviour, kept as an
+A/B lever for the allocation-regression guard in
+``benchmarks/bench_engine_microbench.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+__all__ = [
+    "ENV_ARENA",
+    "NullArena",
+    "ScratchArena",
+    "enabled",
+    "local_arena",
+    "new_arena",
+    "set_enabled",
+]
+
+#: Environment variable: set to ``0``/``false``/``off`` to disable the
+#: arenas (every ``take`` falls back to a fresh ``np.empty``).
+ENV_ARENA = "REPRO_ARENA"
+
+#: Smallest buffer ever allocated; saves re-growing through tiny pools.
+_MIN_BUF = 64
+
+#: Programmatic override (tests/benches); ``None`` defers to the env.
+_FORCED: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Whether arenas are enabled for this process."""
+    if _FORCED is not None:
+        return _FORCED
+    val = os.environ.get(ENV_ARENA, "").strip().lower()
+    return val not in ("0", "false", "off", "no")
+
+
+def set_enabled(flag: Optional[bool]) -> None:
+    """Force arenas on/off (``None`` restores the env-driven default).
+
+    Takes effect at the next :func:`local_arena`/:func:`new_arena` call;
+    arenas already handed out keep working (they are value-neutral
+    either way).
+    """
+    global _FORCED
+    _FORCED = None if flag is None else bool(flag)
+
+
+class ScratchArena:
+    """A dict of named, growable, reusable scratch buffers."""
+
+    __slots__ = ("_bufs", "_generation", "grows", "takes")
+
+    def __init__(self) -> None:
+        self._bufs: Dict[Hashable, np.ndarray] = {}
+        self._generation = 0
+        #: number of (re)allocations — a warmed arena stops growing.
+        self.grows = 0
+        #: number of ``take`` calls served (warm or cold).
+        self.takes = 0
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every :meth:`invalidate`/:meth:`clear`."""
+        return self._generation
+
+    def take(self, key: Hashable, n: int, dtype=np.float64) -> np.ndarray:
+        """First ``n`` elements of the buffer under ``key`` (grown on
+        demand).  Contents are unspecified; the caller must overwrite
+        them fully before reading."""
+        dt = np.dtype(dtype)
+        slot = (key, dt.str)
+        buf = self._bufs.get(slot)
+        if buf is None or buf.size < n:
+            size = max(int(n), 2 * (buf.size if buf is not None else 0),
+                       _MIN_BUF)
+            buf = np.empty(size, dtype=dt)
+            self._bufs[slot] = buf
+            self.grows += 1
+        self.takes += 1
+        return buf[:n]
+
+    def invalidate(self) -> None:
+        """Stamp a new generation (cached upstream indices were rebuilt);
+        capacity is retained, contents are untrusted either way."""
+        self._generation += 1
+
+    def clear(self) -> None:
+        """Drop every buffer and stamp a new generation (state eviction
+        shrank the world; don't pin peak-sized scratch forever)."""
+        self._bufs.clear()
+        self._generation += 1
+
+
+class NullArena:
+    """Disabled-mode stand-in: every ``take`` is a fresh ``np.empty``.
+
+    Keeps the call sites oblivious to the ``REPRO_ARENA`` setting and
+    gives the allocation-regression guard its "before" arm.
+    """
+
+    __slots__ = ("grows", "takes")
+
+    generation = 0
+
+    def __init__(self) -> None:
+        self.grows = 0
+        self.takes = 0
+
+    def take(self, key: Hashable, n: int, dtype=np.float64) -> np.ndarray:
+        self.grows += 1
+        self.takes += 1
+        return np.empty(int(n), dtype=np.dtype(dtype))
+
+    def invalidate(self) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+_NULL = NullArena()
+_TLS = threading.local()
+
+
+def new_arena():
+    """A fresh arena honouring the current enabled state (for owners of
+    long-lived scratch, e.g. the simulator's view gathers)."""
+    return ScratchArena() if enabled() else NullArena()
+
+
+def local_arena():
+    """This thread's round-scratch arena (shared :data:`_NULL` when
+    disabled, so the disabled path allocates exactly as before)."""
+    if not enabled():
+        return _NULL
+    ar = getattr(_TLS, "arena", None)
+    if ar is None:
+        ar = ScratchArena()
+        _TLS.arena = ar
+    return ar

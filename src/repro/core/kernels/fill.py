@@ -22,11 +22,12 @@ bit-identical across ``REPRO_KERNEL`` settings and host core counts.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.kernels import partition
+from repro.core.kernels import arena, partition
 
 #: Shard-count ceiling: components are packed into at most this many
 #: shards (pure function of the pool size, never of the host).
@@ -35,6 +36,43 @@ MAX_SHARDS = 64
 #: Entry-count floor per shard, so thousands of tiny components don't
 #: turn into thousands of per-shard numpy round trips.
 MIN_SHARD_ENTRIES = 1024
+
+
+@dataclass
+class ShardTask:
+    """One contention-component shard, in shard-local coordinates.
+
+    A plain column bundle — no closures — so backends can ship it
+    anywhere: the serial/threaded kernels run it in this process, the
+    process kernel exports the columns to a shared-memory segment and a
+    worker rebuilds the task on the far side.  ``caps`` is the shard's
+    private fused-capacity copy and is mutated by execution; the parent
+    commits it (and the returned grants) back through the plan's
+    ``entries``/``gids`` maps, which never leave the parent.
+    """
+
+    wsub: np.ndarray
+    memb: List[np.ndarray]
+    lsafe: List[np.ndarray]
+    caps: np.ndarray
+    rows: np.ndarray
+    rowg: np.ndarray
+
+
+def run_shard(kernel, shard: ShardTask, tail: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Execute one shard to completion; returns ``(grants, caps)``.
+
+    The reference executor behind ``DecisionKernel.run_shards``:
+    ``nested=True`` keeps chunk work serial (a shard is already a pool
+    task — see :func:`fill_shard`).  Mutates ``shard.caps`` in place and
+    returns it, exactly like the pre-refactor closure tasks did.
+    """
+    grants = np.zeros(shard.wsub.size, dtype=np.float64)
+    fill_shard(
+        kernel, grants, shard.wsub, list(shard.memb), list(shard.lsafe),
+        shard.caps, shard.rows, shard.rowg, tail, nested=True,
+    )
+    return grants, shard.caps
 
 
 def tail_fused(
@@ -121,20 +159,35 @@ def _round_counts(
     Chunk boundaries are segment starts, so the chunk-local cumulative
     sum reproduces the canonical segment-local prefix regardless of how
     many chunks the round was split into — the split is invisible to the
-    result, only to the wall clock.
+    result, only to the wall clock.  Intermediates come out of the
+    thread-local scratch arena (chunks dispatched to different threads
+    never share buffers; chunks on one thread run serially).
     """
+    ar = arena.local_arena()
+    n = b - a
     rows_c = rows[a:b]
     ns_c = newseg[a:b]
-    sid_c = np.cumsum(ns_c) - 1
+    sid_c = np.cumsum(ns_c, out=ar.take("chunk_sid", n, np.intp))
+    sid_c -= 1
     sst = np.flatnonzero(ns_c)
-    ubr = ub[rows_c]
+    ubr = np.take(ub, rows_c, out=ar.take("chunk_ubr", n))
     # Worst-case cumulative take within each group's queue, prefix up to
     # each row *exclusive*, plus its own demand; segment heads pass
     # unconditionally (their headroom against current caps is exact).
-    c = np.cumsum(ubr)
+    c = np.cumsum(ubr, out=ar.take("chunk_cum", n))
     base = np.where(sst > 0, c[sst - 1], 0.0)
-    ok = (c - base[sid_c] - ubr + wsub[rows_c] <= caps[rowg[a:b]]) | ns_c
-    return np.bincount(rows_c[~ok], minlength=k)
+    t = np.take(base, sid_c, out=ar.take("chunk_t", n))
+    np.subtract(c, t, out=t)
+    np.subtract(t, ubr, out=t)
+    t += np.take(wsub, rows_c, out=ar.take("chunk_w", n))
+    ok = np.less_equal(
+        t,
+        np.take(caps, rowg[a:b], out=ar.take("chunk_caps", n)),
+        out=ar.take("chunk_ok", n, np.bool_),
+    )
+    np.logical_or(ok, ns_c, out=ok)
+    np.logical_not(ok, out=ok)
+    return np.bincount(rows_c[ok], minlength=k)
 
 
 def fill_shard(
@@ -159,6 +212,12 @@ def fill_shard(
     the chunks ran.
     """
     ndim = len(memb)
+    # Round scratch comes from the thread-local arena.  Single-key
+    # buffers ("ub", "newseg", ...) are fully rewritten before every
+    # read; the pool columns carried *across* the compaction step use
+    # flip parity so a gather never reads the buffer it writes.
+    ar = arena.local_arena()
+    flip = 0
     ids = np.arange(wsub.size, dtype=np.intp)
     while True:
         k = wsub.size
@@ -170,15 +229,18 @@ def fill_shard(
         # Per-entry upper bound on what it can ever take from here on:
         # demand capped by headroom against *current* capacities
         # (capacities only shrink, so no later turn can beat this).
-        ub = np.full(k, np.inf)
+        ub = ar.take("ub", k)
+        ub[:] = np.inf
+        gcap = ar.take("gcap", k)
         for d in range(ndim):
-            np.minimum(ub, caps[lsafe[d]], where=memb[d], out=ub)
+            np.take(caps, lsafe[d], out=gcap)
+            np.minimum(ub, gcap, where=memb[d], out=ub)
         np.minimum(ub, wsub, out=ub)
         np.maximum(ub, 0.0, out=ub)
         if rows.size:
-            newseg = np.empty(rows.size, dtype=bool)
+            newseg = ar.take("newseg", rows.size, np.bool_)
             newseg[0] = True
-            newseg[1:] = rowg[1:] != rowg[:-1]
+            np.not_equal(rowg[1:], rowg[:-1], out=newseg[1:])
             seg_starts = np.flatnonzero(newseg)
             bounds = partition.chunk_bounds(rows.size, seg_starts)
             thunks = [
@@ -196,9 +258,10 @@ def fill_shard(
             bad = counts[0]
             for extra in counts[1:]:
                 bad = bad + extra
-            ready = bad == 0
+            ready = np.equal(bad, 0, out=ar.take("ready", k, np.bool_))
         else:
-            ready = np.ones(k, dtype=bool)
+            ready = ar.take("ready", k, np.bool_)
+            ready[:] = True
         rp = np.flatnonzero(ready)
         if rp.size == 0:
             return  # unreachable: the pool's first entry heads every queue
@@ -216,26 +279,46 @@ def fill_shard(
                 caps -= np.bincount(
                     lsafe[d][gp][gm], weights=rg[gm], minlength=caps.size
                 )
-        keep = ~ready
+        keep = np.logical_not(ready, out=ready)
         # Collapse drained constraints: anyone left in a dead group has
         # zero headroom now and forever (caps never grow during a fill).
         dead = caps <= 0.0
         if dead.any():
+            dm = ar.take("deadm", k, np.bool_)
             for d in range(ndim):
-                keep &= ~(memb[d] & dead[lsafe[d]])
+                np.take(dead, lsafe[d], out=dm)
+                np.logical_and(dm, memb[d], out=dm)
+                np.logical_not(dm, out=dm)
+                np.logical_and(keep, dm, out=keep)
         if not keep.any():
             return
         # Compact the pool; remap rows through the new entry positions
-        # (row order is preserved by the filter, so no re-sort).
-        newpos = np.cumsum(keep) - 1
-        rk = keep[rows]
-        rows = newpos[rows[rk]]
-        rowg = rowg[rk]
+        # (row order is preserved by the filter, so no re-sort).  The
+        # surviving columns land in the opposite-parity arena buffers:
+        # a gather must never read the buffer it writes.
+        newpos = np.cumsum(keep, out=ar.take("newpos", k, np.intp))
+        newpos -= 1
+        nxt = flip ^ 1
+        rk = np.take(keep, rows, out=ar.take("rk", rows.size, np.bool_))
+        nr = int(np.count_nonzero(rk))
+        rtmp = np.compress(rk, rows, out=ar.take("rtmp", nr, np.intp))
+        rows = np.take(newpos, rtmp, out=ar.take(("rows", nxt), nr, np.intp))
+        rowg = np.compress(
+            rk, rowg, out=ar.take(("rowg", nxt), nr, rowg.dtype)
+        )
         pool = np.flatnonzero(keep)
-        ids = ids[pool]
-        wsub = wsub[pool]
-        memb = [m[pool] for m in memb]
-        lsafe = [s[pool] for s in lsafe]
+        nk = pool.size
+        ids = np.take(ids, pool, out=ar.take(("ids", nxt), nk, np.intp))
+        wsub = np.take(wsub, pool, out=ar.take(("wsub", nxt), nk))
+        memb = [
+            np.take(m, pool, out=ar.take(("memb", d, nxt), nk, np.bool_))
+            for d, m in enumerate(memb)
+        ]
+        lsafe = [
+            np.take(s, pool, out=ar.take(("lsafe", d, nxt), nk, s.dtype))
+            for d, s in enumerate(lsafe)
+        ]
+        flip = nxt
 
 
 def _plan_shards(
@@ -349,7 +432,7 @@ def fill_pool(
             shard_ids = np.arange(nsh)
             rlo = np.searchsorted(rshard_sorted, shard_ids, side="left")
             rhi = np.searchsorted(rshard_sorted, shard_ids, side="right")
-            tasks = []
+            shards = []
             commits = []
             for s in range(nsh):
                 lo, hi = int(sbounds[s]), int(sbounds[s + 1])
@@ -371,18 +454,19 @@ def fill_pool(
                     ls = np.searchsorted(gids, fsafe[d][entries])
                     np.copyto(ls, 0, where=~memb_l[d])
                     lsafe_l.append(ls)
-                g_local = np.zeros(entries.size, dtype=np.float64)
-                tasks.append(
-                    lambda g=g_local, w=wsub_l, m=memb_l, L=lsafe_l,
-                    c=caps_local, r=srows, rg=lrowg: fill_shard(
-                        kernel, g, w, m, L, c, r, rg, tail, nested=True
+                shards.append(
+                    ShardTask(
+                        wsub=wsub_l, memb=memb_l, lsafe=lsafe_l,
+                        caps=caps_local, rows=srows, rowg=lrowg,
                     )
                 )
-                commits.append((entries, gids, g_local, caps_local))
-            kernel.run_tasks(tasks)
+                commits.append((entries, gids))
+            results = kernel.run_shards(shards, tail)
             # Shards touch disjoint entries and disjoint groups, so the
             # commit is plain assignment, in any order.
-            for entries, gids, g_local, caps_local in commits:
+            for (entries, gids), (g_local, caps_local) in zip(
+                commits, results
+            ):
                 grants[entries] = g_local
                 capc[gids] = caps_local
     nz = grants > 0.0

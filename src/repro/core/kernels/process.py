@@ -1,0 +1,228 @@
+"""Process-sharded decision kernel: shards fan out over worker processes.
+
+The threaded backend parallelizes the GIL-*releasing* numpy slices, but
+the Python-level round orchestration of each shard (loop bookkeeping,
+tail loops, small-array glue) still serializes on the GIL.  This backend
+ships whole contention-component shards to a lazily-spawned, persistent
+``ProcessPoolExecutor`` instead: each worker runs
+:func:`repro.core.kernels.fill.fill_shard` start-to-finish on its own
+interpreter, so shards progress truly concurrently.
+
+Array transport is :mod:`repro.runner.shm`, not pickle:
+
+* the parent exports each shard's input columns (``wsub``, fused
+  ``caps``, per-dimension membership/group columns, incidence rows) into
+  one shared segment and submits only the header-sized
+  :class:`~repro.runner.shm.ShmBlock` descriptor;
+* the worker attaches **without consuming** (``consume=False`` — the
+  parent keeps segment ownership for the pool's lifetime and discards
+  after the round trip), copies the columns out, fills the shard, and
+  exports ``grants``/``caps`` back the same way;
+* the parent attaches the result segment (consuming it) and commits.
+
+Values are bit-identical to the ``python`` reference by construction:
+the shard/chunk *plan* is computed in the parent exactly as for every
+other backend, and the worker executes the shared ``fill_shard``
+arithmetic on byte-identical column copies.
+
+Degradation is always silent and value-neutral: single-shard pools,
+``REPRO_SHM=0``, nested execution inside another pool worker, export
+failures and broken pools all fall back to the inherited threaded
+dispatch.  ``REPRO_KERNEL_PROCS`` sizes the pool (default
+``max(2, min(8, usable cores))``, matching the thread pool).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kernels import ThreadedKernel, fill
+from repro.errors import ConfigurationError
+from repro.runner import shm
+
+__all__ = ["ENV_PROCS", "ProcessKernel", "pool_workers", "shutdown"]
+
+#: Environment variable sizing the worker-process pool.
+ENV_PROCS = "REPRO_KERNEL_PROCS"
+
+#: Shards actually executed in worker processes (monotone, parent side)
+#: — test/bench evidence that dispatch crossed a process boundary.
+DISPATCHED = 0
+
+_LOCK = threading.Lock()
+_POOL = None
+_POOL_PID: Optional[int] = None
+
+
+def pool_workers() -> int:
+    """Worker-process count (``REPRO_KERNEL_PROCS``, else the thread-pool
+    sizing rule: ``max(2, min(8, usable cores))``)."""
+    raw = os.environ.get(ENV_PROCS, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ConfigurationError(
+                f"cannot parse ${ENV_PROCS}={raw!r} (expected an integer)"
+            ) from None
+    from repro.core.kernels import usable_cores
+
+    return max(2, min(8, usable_cores()))
+
+
+def _worker_init() -> None:
+    """Pool initializer: workers never spawn pools of their own."""
+    os.environ["REPRO_IN_WORKER"] = "1"
+
+
+def _ensure_pool():
+    """The persistent executor (spawned on first multi-shard fill; a
+    stale pool inherited over ``fork`` is replaced, not reused)."""
+    global _POOL, _POOL_PID
+    if _POOL is not None and _POOL_PID == os.getpid():
+        return _POOL
+    with _LOCK:
+        if _POOL is None or _POOL_PID != os.getpid():
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                _POOL = ProcessPoolExecutor(
+                    max_workers=pool_workers(), initializer=_worker_init
+                )
+            except OSError:  # pragma: no cover - fork-hostile platform
+                _POOL = None
+            _POOL_PID = os.getpid()
+    return _POOL
+
+
+def shutdown() -> None:
+    """Tear the worker pool down (tests; production pools live until
+    interpreter exit, where concurrent.futures joins them)."""
+    global _POOL
+    with _LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+            _POOL = None
+
+
+def _shard_worker(block: "shm.ShmBlock", ndim: int, tail: int):
+    """Worker side: rebuild one shard from its descriptor, fill it,
+    export the results.
+
+    Attaches non-consuming — the input segment stays parent-owned for
+    the round trip — and runs the serial reference kernel (chunk work
+    inside a worker is ``nested`` by definition).  Returns the output
+    descriptor; ownership of that segment transfers to the parent via
+    ``export_arrays``'s disown protocol.
+    """
+    from repro.core import kernels
+
+    cols = shm.attach_arrays(block, consume=False)
+    memb = [cols[f"memb{d}"] for d in range(ndim)]
+    lsafe = [cols[f"lsafe{d}"] for d in range(ndim)]
+    caps = cols["caps"]
+    grants = np.zeros(cols["wsub"].size, dtype=np.float64)
+    fill.fill_shard(
+        kernels._instance("python"), grants, cols["wsub"], memb, lsafe,
+        caps, cols["rows"], cols["rowg"], tail, nested=True,
+    )
+    return shm.export_arrays({"grants": grants, "caps": caps})
+
+
+def _drain_outputs(futures, consumed: int) -> None:
+    """Error-path hygiene: unlink result segments of futures whose
+    output the parent will never attach."""
+    for fut in futures[consumed:]:
+        try:
+            out = fut.result()
+        except BaseException:
+            continue
+        if out is not None:
+            shm.discard(out)
+
+
+class ProcessKernel(ThreadedKernel):
+    """Shards run on a persistent worker-process pool over shm columns.
+
+    Chunk fan-out and the scalar tail inherit from
+    :class:`~repro.core.kernels.ThreadedKernel`; only
+    :meth:`run_shards` changes, so a request for this backend is safe
+    everywhere — fills without a multi-shard plan behave exactly like
+    ``threaded`` and never spawn a process.
+    """
+
+    name = "process"
+    parallel = True
+
+    def run_shards(
+        self, shards: Sequence["fill.ShardTask"], tail: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        if (
+            len(shards) <= 1
+            or os.environ.get("REPRO_IN_WORKER")
+            or not shm.shm_enabled()
+        ):
+            return super().run_shards(shards, tail)
+        pool = _ensure_pool()
+        if pool is None:
+            return super().run_shards(shards, tail)
+        inblocks: List[shm.ShmBlock] = []
+        futures = []
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        try:
+            try:
+                for sh in shards:
+                    cols = {
+                        "wsub": sh.wsub, "caps": sh.caps,
+                        "rows": sh.rows, "rowg": sh.rowg,
+                    }
+                    for d, (m, ls) in enumerate(zip(sh.memb, sh.lsafe)):
+                        cols[f"memb{d}"] = m
+                        cols[f"lsafe{d}"] = ls
+                    block = shm.export_arrays(cols)
+                    if block is None:
+                        raise OSError("shared-memory export unavailable")
+                    inblocks.append(block)
+                    futures.append(
+                        pool.submit(_shard_worker, block, len(sh.memb), tail)
+                    )
+                for fut in futures:
+                    out = fut.result()
+                    if out is None:
+                        raise OSError("worker exported no result columns")
+                    arrs = shm.attach_arrays(out)
+                    results.append((arrs["grants"], arrs["caps"]))
+            finally:
+                # Input segments are parent-owned for the whole round
+                # trip (pool-lifetime attach on the worker side): the
+                # parent discards them exactly once, success or not.
+                for blk in inblocks:
+                    shm.discard(blk)
+        except Exception:
+            _drain_outputs(futures, len(results))
+            _reset_if_broken()
+            # The shard inputs are untouched (workers mutate segment
+            # copies, never the parent's arrays), so the inherited
+            # threaded dispatch reproduces the fill bit-identically.
+            return super().run_shards(shards, tail)
+        global DISPATCHED
+        DISPATCHED += len(shards)
+        return results
+
+
+def _reset_if_broken() -> None:
+    """Drop the executor after a pool-breaking failure so the next fill
+    can respawn it (export/attach hiccups keep the healthy pool)."""
+    global _POOL
+    from concurrent.futures.process import BrokenProcessPool
+
+    with _LOCK:
+        if _POOL is not None and isinstance(
+            getattr(_POOL, "_broken", None), (str, BrokenProcessPool)
+        ):
+            _POOL.shutdown(wait=False)
+            _POOL = None

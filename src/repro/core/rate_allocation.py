@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import kernels
+from repro.core.kernels import arena as _arena
 from repro.errors import ConfigurationError
 
 #: Relative epsilon used to decide saturation in iterative filling.
@@ -269,10 +270,20 @@ def priority_fill(
     # capacities only shrink during a fill, so they could never receive
     # anything at their turn either — this makes backfill after a
     # saturating pass (FVDF minimal, MADD) nearly free.
-    room0 = np.full(m, np.inf)
+    # Per-round scratch comes from the thread-local arena (see
+    # :mod:`repro.core.kernels.arena`): single-key buffers are fully
+    # rewritten before every read, and the shrinking open set ``op``
+    # alternates flip-parity buffers so a compress never reads the
+    # buffer it writes.
+    ar = _arena.local_arena()
+    room0 = ar.take("bf_room0", m)
+    room0[:] = np.inf
+    gcap = ar.take("bf_gcap", m)
     for (_, caps), member, sg in zip(dims, members, safe):
-        np.minimum(room0, caps[sg], where=member, out=room0)
+        np.take(caps, sg, out=gcap)
+        np.minimum(room0, gcap, where=member, out=room0)
     op = np.flatnonzero(room0 > 0.0)
+    flip = 0
     while op.size:
         if op.size <= _SCALAR_TAIL:
             # Chain tail: backfill is the demand-capped loop with an
@@ -286,43 +297,83 @@ def priority_fill(
                 [s[op] for s in safe],
             )
             break
-        ready = np.ones(op.size, dtype=bool)
+        no = op.size
+        ready = ar.take("bf_ready", no, np.bool_)
+        ready[:] = True
         for d in range(ndim):
-            memb = members[d][op]
+            memb = np.take(members[d], op, out=ar.take("bf_memb", no, np.bool_))
             mp = np.flatnonzero(memb)
             if mp.size == 0:
                 continue
             gm = safe[d][op[mp]]
             # First open member of each group, via reversed last-wins
             # scatter: O(num_groups) per round, no sort.
-            first = np.full(len(dims[d][1]), -1, dtype=np.intp)
+            first = ar.take(("bf_first", d), len(dims[d][1]), np.intp)
+            first[:] = -1
             first[gm[::-1]] = mp[::-1]
-            heads = np.zeros(op.size, dtype=bool)
+            heads = ar.take("bf_heads", no, np.bool_)
+            heads[:] = False
             heads[first[gm]] = True
-            ready &= heads | ~memb
-        rp = op[ready]
-        room = np.full(rp.size, np.inf)
+            np.logical_not(memb, out=memb)
+            np.logical_or(heads, memb, out=heads)
+            np.logical_and(ready, heads, out=ready)
+        nr = int(np.count_nonzero(ready))
+        rp = np.compress(ready, op, out=ar.take("bf_rp", nr, np.intp))
+        room = ar.take("bf_room", nr)
+        room[:] = np.inf
+        rcap = ar.take("bf_rcap", nr)
+        rmemb = ar.take("bf_rmemb", nr, np.bool_)
         for d, (_, caps) in enumerate(dims):
-            np.minimum(room, caps[safe[d][rp]], where=members[d][rp], out=room)
-        room = np.maximum(room, 0.0)
-        r = room
-        give = r > 0.0
-        gp = rp[give]
-        rg = r[give]
+            sg_rp = np.take(
+                safe[d], rp, out=ar.take("bf_rsg", nr, safe[d].dtype)
+            )
+            np.take(caps, sg_rp, out=rcap)
+            np.take(members[d], rp, out=rmemb)
+            np.minimum(room, rcap, where=rmemb, out=room)
+        r = np.maximum(room, 0.0, out=room)
+        give = np.greater(r, 0.0, out=ar.take("bf_give", nr, np.bool_))
+        ng = int(np.count_nonzero(give))
+        gp = np.compress(give, rp, out=ar.take("bf_gp", ng, np.intp))
+        rg = np.compress(give, r, out=ar.take("bf_rg", ng))
         if gp.size:
             np.add.at(out, order[gp], rg)
             for d, (_, caps) in enumerate(dims):
                 gm = members[d][gp]
                 caps[safe[d][gp][gm]] -= rg[gm]
-        op = op[~ready]
+        np.logical_not(ready, out=ready)
+        nn = int(np.count_nonzero(ready))
+        op = np.compress(
+            ready, op, out=ar.take(("bf_op", flip ^ 1), nn, np.intp)
+        )
+        flip ^= 1
         if op.size:
-            drop = np.zeros(op.size, dtype=bool)
+            drop = ar.take("bf_drop", op.size, np.bool_)
+            drop[:] = False
+            dm = ar.take("bf_dm", op.size, np.bool_)
             for d, (_, caps) in enumerate(dims):
                 dead = caps <= 0.0
                 if dead.any():
-                    drop |= members[d][op] & dead[safe[d][op]]
+                    sg_op = np.take(
+                        safe[d], op,
+                        out=ar.take("bf_dsg", op.size, safe[d].dtype),
+                    )
+                    np.take(dead, sg_op, out=dm)
+                    np.logical_and(
+                        dm,
+                        np.take(
+                            members[d], op,
+                            out=ar.take("bf_dmb", op.size, np.bool_),
+                        ),
+                        out=dm,
+                    )
+                    np.logical_or(drop, dm, out=drop)
             if drop.any():
-                op = op[~drop]
+                np.logical_not(drop, out=drop)
+                nk = int(np.count_nonzero(drop))
+                op = np.compress(
+                    drop, op, out=ar.take(("bf_op", flip ^ 1), nk, np.intp)
+                )
+                flip ^= 1
     return out
 
 

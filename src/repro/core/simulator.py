@@ -426,10 +426,12 @@ class SliceSimulator:
         self._cached_unit_of_pos = np.empty(0, dtype=np.intp)
         self._cached_group_slots = np.empty(0, dtype=np.intp)
         self._cached_static: Dict[str, np.ndarray] = {}
-        # Preallocated per-decision scratch for the raw/comp view columns
+        # Generation-stamped scratch arena for the raw/comp view columns
         # (the only per-flow state the view must re-read every decision).
-        self._scratch_raw = np.empty(0, dtype=np.float64)
-        self._scratch_comp = np.empty(0, dtype=np.float64)
+        # Buffers are reused decision to decision; full regroups bump the
+        # generation and state eviction clears it (see
+        # :mod:`repro.core.kernels.arena`).
+        self._view_scratch = kernels.arena.new_arena()
         self._cap_events: List = []
         self._coflows: Dict[int, _CoflowRecord] = {}
         # coflow id -> arrival time; kept for the pinned pre-columnar
@@ -986,10 +988,11 @@ class SliceSimulator:
         self._active = new_of_flow[self._active]
         self._done_chunks = [new_of_flow[held]] if held.size else []
         self._closed_chunks = []
-        # Cached grouping/scratch reference pre-eviction indices.
+        # Cached grouping/scratch reference pre-eviction indices; the
+        # arena drops its (peak-sized) buffers outright — the world just
+        # shrank, don't pin the old high-water mark.
         self._groups_dirty = True
-        self._scratch_raw = np.empty(0, dtype=np.float64)
-        self._scratch_comp = np.empty(0, dtype=np.float64)
+        self._view_scratch.clear()
         return store
 
     def export_state(self) -> dict:
@@ -1191,6 +1194,11 @@ class SliceSimulator:
         handle (a mid-run submission arriving no later than an already
         active coflow).
         """
+        # Cached indices are being rebuilt from scratch (cancellation,
+        # forced regroup, delta-ineligible arrival): stamp a new scratch
+        # generation so staleness is observable (reuse stays safe either
+        # way — every take is fully overwritten before it is read).
+        self._view_scratch.invalidate()
         idx = self._active
         coflow_ids = self._coflow_of[idx]
         slots_of_pos = self._slot_of[idx]
@@ -1339,11 +1347,9 @@ class SliceSimulator:
         static = self._cached_static
         free = self.cpu.free_cores(self.now)
         n = idx.size
-        if self._scratch_raw.size < n:
-            self._scratch_raw = np.empty(self._cap, dtype=np.float64)
-            self._scratch_comp = np.empty(self._cap, dtype=np.float64)
-        raw = np.take(self._raw, idx, out=self._scratch_raw[:n])
-        comp = np.take(self._comp, idx, out=self._scratch_comp[:n])
+        scr = self._view_scratch
+        raw = np.take(self._raw, idx, out=scr.take("raw", n))
+        comp = np.take(self._comp, idx, out=scr.take("comp", n))
         return SchedulerView(
             time=self.now,
             slice_len=self.slice_len,

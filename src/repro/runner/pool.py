@@ -133,8 +133,14 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     key = spec.key or scheduler.name
     snapshot = None
     if spec.telemetry:
+        from repro.core import kernels
+
+        # Record the *resolved* backend, not the request: "auto" pins
+        # down, and a compiled request without numba reports the
+        # threaded fallback it actually ran on.
         snapshot = TelemetrySnapshot.capture(
-            key, scheduler.name, obs, clock.wall_s, clock.cpu_s
+            key, scheduler.name, obs, clock.wall_s, clock.cpu_s,
+            kernel=kernels.resolved_name(getattr(scheduler, "kernel", None)),
         )
     if spec.full:
         return RunOutcome(

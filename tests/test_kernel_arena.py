@@ -1,0 +1,278 @@
+"""Scratch-arena lifecycle: reuse, growth, generations, value neutrality.
+
+The arenas of :mod:`repro.core.kernels.arena` back the decision hot
+path's round scratch (``fill_shard``/``_round_counts``), the backfill
+rounds of ``priority_fill`` and the simulator's view gathers.  Their
+contract is deliberately thin — ``take`` hands out *unspecified* bytes
+and every call site fully overwrites before reading — so what these
+tests pin down is the machinery around that contract:
+
+* buffers are reused (``grows`` stabilizes once warm) and grow
+  geometrically when forced;
+* dtype is part of the buffer identity — no silent aliasing between a
+  float and an index buffer under the same name;
+* ``invalidate`` stamps a new generation but keeps capacity;
+  ``clear`` also drops the buffers (eviction must not pin peak scratch);
+* the simulator's view scratch follows its regroup lifecycle —
+  invalidated by the full rebuilds after ``cancel_coflow`` and cleared
+  by ``drain_retired``'s state eviction;
+* ``REPRO_ARENA=0`` / ``set_enabled(False)`` degrade every accessor to
+  plain ``np.empty`` — and results are bit-identical either way, which
+  is what makes the arena a pure allocation knob.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import rate_allocation as ra
+from repro.core.kernels import arena
+
+
+@pytest.fixture(autouse=True)
+def _restore_arena_mode():
+    yield
+    arena.set_enabled(None)
+
+
+# -- ScratchArena mechanics ---------------------------------------------------
+
+
+def test_take_reuses_buffer_and_grows_geometrically():
+    ar = arena.ScratchArena()
+    a = ar.take("x", 100)
+    a[:] = 0.0
+    assert a.size == 100 and a.dtype == np.float64
+    assert ar.grows == 1 and ar.takes == 1
+    b = ar.take("x", 80)
+    assert ar.grows == 1  # same buffer, no reallocation
+    assert np.shares_memory(a, b)
+    c = ar.take("x", 150)  # forced growth: 2 * old capacity, not 150
+    c[:] = 1.0
+    assert ar.grows == 2
+    assert not np.shares_memory(a, c)
+    slot = ("x", np.dtype(np.float64).str)
+    assert ar._bufs[slot].size == 200
+    # ...and the grown buffer is itself reused afterwards.
+    d = ar.take("x", 200)
+    assert ar.grows == 2 and np.shares_memory(c, d)
+
+
+def test_take_never_hands_out_less_than_the_floor():
+    ar = arena.ScratchArena()
+    ar.take("tiny", 3)
+    slot = ("tiny", np.dtype(np.float64).str)
+    assert ar._bufs[slot].size == arena._MIN_BUF
+
+
+def test_dtype_is_part_of_the_buffer_identity():
+    ar = arena.ScratchArena()
+    f = ar.take("k", 32, np.float64)
+    i = ar.take("k", 32, np.intp)
+    m = ar.take("k", 32, np.bool_)
+    assert ar.grows == 3
+    f[:] = 1.5
+    i[:] = 7
+    m[:] = True
+    assert f.dtype == np.float64 and i.dtype == np.intp and m.dtype == np.bool_
+    assert not np.shares_memory(f, i)
+    assert (f == 1.5).all() and (i == 7).all()  # no cross-dtype clobber
+
+
+def test_invalidate_keeps_capacity_clear_drops_it():
+    ar = arena.ScratchArena()
+    ar.take("x", 500)
+    assert ar.generation == 0
+    ar.invalidate()
+    assert ar.generation == 1
+    ar.take("x", 500)
+    assert ar.grows == 1  # capacity survived the generation bump
+    ar.clear()
+    assert ar.generation == 2
+    assert not ar._bufs
+    ar.take("x", 500)
+    assert ar.grows == 2  # eviction really dropped the buffer
+
+
+# -- enabled/disabled switching ----------------------------------------------
+
+
+def test_set_enabled_false_degrades_to_null_arena():
+    arena.set_enabled(False)
+    ar = arena.new_arena()
+    assert isinstance(ar, arena.NullArena)
+    assert arena.local_arena() is arena._NULL
+    a = ar.take("x", 10)
+    b = ar.take("x", 10)
+    assert not np.shares_memory(a, b)  # fresh np.empty every time
+    ar.invalidate()
+    ar.clear()
+    assert ar.generation == 0  # null arenas have no lifecycle
+    arena.set_enabled(None)
+    assert isinstance(arena.new_arena(), arena.ScratchArena)
+
+
+def test_env_variable_disables_arenas(monkeypatch):
+    arena.set_enabled(None)
+    monkeypatch.setenv(arena.ENV_ARENA, "0")
+    assert not arena.enabled()
+    assert isinstance(arena.new_arena(), arena.NullArena)
+    monkeypatch.setenv(arena.ENV_ARENA, "1")
+    assert arena.enabled()
+    # the programmatic override beats the environment
+    arena.set_enabled(False)
+    assert not arena.enabled()
+
+
+def test_local_arena_is_thread_local():
+    arena.set_enabled(True)
+    mine = arena.local_arena()
+    assert arena.local_arena() is mine  # stable within a thread
+    theirs = []
+    t = threading.Thread(target=lambda: theirs.append(arena.local_arena()))
+    t.start()
+    t.join()
+    assert theirs and theirs[0] is not mine
+
+
+# -- hot-path adoption: warm arenas stop allocating ---------------------------
+
+
+def _contended_fill(n=400, seed=2):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, 6, size=n)
+    dst = rng.integers(0, 6, size=n)
+    ci = np.full(6, 3.0)
+    co = np.full(6, 2.5)
+    dims = ra.build_dims(src, dst, ci, co, None)
+    perm = rng.permutation(n).astype(np.intp)
+    # Heavily oversubscribed on every port: the contended round loop
+    # (the arena's customer) must actually run.
+    demands = rng.uniform(0.05, 0.5, size=n)
+    return ra.priority_fill(perm, dims, demands=demands, n=n)
+
+
+def test_round_scratch_stops_growing_once_warm():
+    """Two identical contended fills on the serial kernel: the second
+    must be served entirely from warm buffers (grows frozen, takes
+    rising) — the reuse across runs/fresh() that the arena exists for."""
+    from repro.core import kernels
+
+    arena.set_enabled(True)
+    old_tail = ra._SCALAR_TAIL
+    ra._SCALAR_TAIL = 0  # keep everything on the vectorized arena path
+    try:
+        with kernels.use_kernel("python"):
+            first = _contended_fill()
+            ar = arena.local_arena()
+            grows_after_warmup = ar.grows
+            takes_after_warmup = ar.takes
+            assert takes_after_warmup > 0  # the fill really used the arena
+            second = _contended_fill()
+    finally:
+        ra._SCALAR_TAIL = old_tail
+    assert np.array_equal(first, second)
+    assert ar.grows == grows_after_warmup
+    assert ar.takes > takes_after_warmup
+
+
+def test_fill_results_identical_with_arena_disabled():
+    from repro.core import kernels
+
+    arena.set_enabled(True)
+    with kernels.use_kernel("python"):
+        on = _contended_fill(seed=4)
+    arena.set_enabled(False)
+    with kernels.use_kernel("python"):
+        off = _contended_fill(seed=4)
+    assert np.array_equal(on, off)
+
+
+# -- simulator view scratch lifecycle ----------------------------------------
+
+
+def _make_sim():
+    from repro.core.coflow import Coflow
+    from repro.core.flow import Flow
+    from repro.core.simulator import SliceSimulator
+    from repro.fabric.bigswitch import BigSwitch
+    from repro.schedulers import make_scheduler
+
+    sim = SliceSimulator(
+        BigSwitch(4, 1.0), make_scheduler("sebf"), slice_len=0.01
+    )
+    coflows = [
+        Coflow([Flow(i % 4, (i + 1) % 4, 2.0 + i)], label=f"c{i}")
+        for i in range(6)
+    ]
+    sim.submit_many(coflows)
+    return sim, coflows
+
+
+def test_view_scratch_invalidated_by_cancel_rebuild():
+    """``cancel_coflow`` marks the grouping dirty; the next decision's
+    full regroup must stamp a new scratch generation (the cached
+    indices the buffers were sized against are gone)."""
+    arena.set_enabled(True)
+    sim, coflows = _make_sim()
+    sim.run(until=0.5)
+    gen = sim._view_scratch.generation
+    assert sim.cancel_coflow(coflows[0].coflow_id) == 1
+    sim.run(until=1.0)  # triggers the full rebuild
+    assert sim._view_scratch.generation > gen
+
+
+def test_view_scratch_invalidated_by_midrun_submit():
+    from repro.core.coflow import Coflow
+    from repro.core.flow import Flow
+
+    arena.set_enabled(True)
+    sim, _ = _make_sim()
+    sim.submit(Coflow([Flow(2, 3, 4.0)], arrival=1.0, label="mid"))
+    # Submit "late" mid-loop at the exact decision where "mid" activates:
+    # equal arrivals landing in *separate* due batches are the one
+    # arrival pattern the append delta cannot handle, so the engine falls
+    # back to the full regroup (and its invalidate).
+    fired = []
+
+    def resubmit(t):
+        if t >= 1.0 and not fired:
+            fired.append(t)
+            sim.submit(Coflow([Flow(0, 1, 1.0)], arrival=t, label="late"))
+
+    sim.on_decision(resubmit)
+    sim.run(until=0.5)
+    gen = sim._view_scratch.generation
+    sim.run(until=2.0)
+    assert fired
+    assert sim._view_scratch.generation > gen
+
+
+def test_view_scratch_cleared_by_eviction():
+    """``drain_retired`` shrinks the world; the arena must drop its
+    peak-sized buffers, not pin them forever."""
+    arena.set_enabled(True)
+    sim, _ = _make_sim()
+    sim.run(until=3.0)
+    assert sim._view_scratch._bufs  # the gathers actually used it
+    gen = sim._view_scratch.generation
+    sim.drain_retired()
+    assert not sim._view_scratch._bufs
+    assert sim._view_scratch.generation > gen
+
+
+def test_simulation_identical_with_arena_disabled():
+    """End to end: fct/cct/makespan are bitwise unchanged by the arena
+    — it is an allocation knob, never a value knob."""
+    def run():
+        sim, _ = _make_sim()
+        return sim.run()
+
+    arena.set_enabled(True)
+    on = run()
+    arena.set_enabled(False)
+    off = run()
+    assert np.array_equal(on.fct_array, off.fct_array)
+    assert np.array_equal(on.cct_array, off.cct_array)
+    assert on.makespan == off.makespan

@@ -4,9 +4,9 @@ The ``kernel=`` knob is excluded from result-cache digests on the
 strength of one claim: backends change *where* the decision arithmetic
 runs, never *what* it computes.  This module is that claim's enforcement
 — the same pools, gamma reductions and whole simulations go through
-``python``, ``threaded`` and ``compiled`` (which resolves to ``threaded``
-when numba is absent) and must come back ``np.array_equal``-exact, not
-merely close.
+``python``, ``threaded``, ``compiled`` (which resolves to ``threaded``
+when numba is absent) and ``process`` (worker-process shards over shm
+columns) and must come back ``np.array_equal``-exact, not merely close.
 
 Coverage deliberately spans every dispatch regime:
 
@@ -31,7 +31,7 @@ from repro.core import fvdf, kernels
 from repro.core import rate_allocation as ra
 from repro.core.kernels import fill, partition
 
-BACKENDS = ("python", "threaded", "compiled")
+BACKENDS = ("python", "threaded", "compiled", "process")
 N_PORTS = 5
 N_RACKS = 2
 TAILS = [0, ra._SCALAR_TAIL]
@@ -368,3 +368,125 @@ def test_env_selection_and_fallback(monkeypatch):
     # compiled never errors without numba — it degrades to threaded.
     if not kernels.have_numba():
         assert kernels.resolve_kernel("compiled").name == "threaded"
+
+
+# -- process dispatch evidence ------------------------------------------------
+
+
+def _shm_leftovers():
+    import glob
+
+    from repro.runner import shm
+
+    return glob.glob(f"/dev/shm/{shm.SHM_PREFIX}*")
+
+
+@pytest.mark.skipif(
+    not kernels._process_usable(), reason="shared-memory transport unusable"
+)
+def test_process_backend_dispatches_shards_and_cleans_up():
+    """Forced multi-shard fill under ``process``: shards must actually
+    cross the process boundary (DISPATCHED evidence), come back bitwise
+    equal to the serial reference, and leave /dev/shm spotless."""
+    from repro.core.kernels import process
+
+    fab = _component_pool(n_comp=10, flows_per=6, seed=5)
+    demands = fab[-1]
+    ref_rates, ref_caps = _fill_under("python", fab, 0, demands)
+    old_floor = fill.MIN_SHARD_ENTRIES
+    fill.MIN_SHARD_ENTRIES = 2
+    before = process.DISPATCHED
+    try:
+        rates, caps = _fill_under("process", fab, 0, demands)
+    finally:
+        fill.MIN_SHARD_ENTRIES = old_floor
+    assert process.DISPATCHED - before >= 10, "shards never left the parent"
+    assert np.array_equal(rates, ref_rates)
+    for got, want in zip(caps, ref_caps):
+        assert np.array_equal(got, want)
+    assert not _shm_leftovers()
+
+
+def test_process_backend_single_shard_never_spawns_pool():
+    """Pools without a multi-shard plan stay on the inherited threaded
+    path — the kernel is safe to request unconditionally."""
+    from repro.core.kernels import process
+
+    fab = _component_pool(n_comp=1, flows_per=30, seed=9)
+    before = process.DISPATCHED
+    ref_rates, _ = _fill_under("python", fab, 0, fab[-1])
+    rates, _ = _fill_under("process", fab, 0, fab[-1])
+    assert process.DISPATCHED == before
+    assert np.array_equal(rates, ref_rates)
+
+
+def test_pool_workers_env_parsing(monkeypatch):
+    from repro.core.kernels import process
+    from repro.errors import ConfigurationError
+
+    monkeypatch.setenv(process.ENV_PROCS, "3")
+    assert process.pool_workers() == 3
+    monkeypatch.setenv(process.ENV_PROCS, "zero")
+    with pytest.raises(ConfigurationError):
+        process.pool_workers()
+
+
+# -- selection hardening ------------------------------------------------------
+
+
+def test_use_kernel_restores_prior_on_raise():
+    """An exception escaping a use_kernel block must not leak the block's
+    backend into the surrounding context."""
+    with kernels.use_kernel("python"):
+        base = kernels.active_kernel()
+        with pytest.raises(RuntimeError):
+            with kernels.use_kernel("threaded"):
+                assert kernels.active_kernel().name == "threaded"
+                raise RuntimeError("boom")
+        assert kernels.active_kernel() is base
+
+
+def test_use_kernel_unknown_name_leaves_selection_untouched():
+    from repro.errors import ConfigurationError
+
+    with kernels.use_kernel("python"):
+        before = kernels.active_kernel()
+        with pytest.raises(ConfigurationError):
+            with kernels.use_kernel("turbo"):
+                pass  # pragma: no cover - resolve fails before entry
+        assert kernels.active_kernel() is before
+
+
+def test_resolve_normalizes_case_and_whitespace():
+    assert kernels.resolve_kernel("  Threaded \n").name == "threaded"
+    assert kernels.resolve_kernel("PROCESS").name == "process"
+
+
+def test_unknown_env_kernel_error_names_the_variable(monkeypatch):
+    from repro.errors import ConfigurationError
+
+    monkeypatch.setenv(kernels.ENV_KERNEL, "warp")
+    with pytest.raises(ConfigurationError) as exc:
+        kernels.resolve_kernel(None)
+    msg = str(exc.value)
+    assert "$" + kernels.ENV_KERNEL in msg
+    assert "'warp'" in msg
+    for name in kernels.KERNEL_NAMES:
+        assert name in msg
+
+
+def test_unknown_kernel_argument_error_names_the_argument():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError) as exc:
+        kernels.resolve_kernel("warp")
+    assert "kernel argument" in str(exc.value)
+
+
+def test_resolved_name_pins_down_requests():
+    assert kernels.resolved_name("python") == "python"
+    assert kernels.resolved_name("auto") in (
+        "python", "threaded", "compiled", "process",
+    )
+    if not kernels.have_numba():
+        assert kernels.resolved_name("compiled") == "threaded"
