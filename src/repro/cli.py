@@ -755,11 +755,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def _serve_smoke(args: argparse.Namespace) -> int:
     """`serve --smoke`: bounded 10k-flow stream + checkpoint/restore
-    round trip, asserting bit-identical downstream results."""
+    round trip + JSONL block-parser replay, asserting bit-identical
+    downstream results on all three legs."""
+    import json as _json
     import tempfile
 
     from repro.core.results import concat_stores
-    from repro.service import SourceSpec, StreamDriver, restore_driver
+    from repro.service import (
+        JsonlSource,
+        SourceSpec,
+        StreamDriver,
+        coflow_to_json,
+        restore_driver,
+    )
     from repro.traces.distributions import LogNormalSizes
     from repro.units import KB
 
@@ -797,31 +805,60 @@ def _serve_smoke(args: argparse.Namespace) -> int:
         stats_b = b2.run()
     store_b = concat_stores(pre_shards + b2.shards)
 
+    # Third leg: dump the stream to JSONL and replay it through the
+    # block-columnar parser (JsonlSource.pop_block -> submit_block); the
+    # same arrivals must produce bit-identical downstream results.
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl = Path(tmp) / "stream.jsonl"
+        dump = spec.build()
+        with jsonl.open("w") as fh:
+            while dump.peek() is not None:
+                fh.write(_json.dumps(coflow_to_json(dump.pop())) + "\n")
+        sim_c = setup.build_simulator(make_scheduler(args.policy))
+        c = StreamDriver(
+            sim_c, JsonlSource(str(jsonl)), tick=0.5, max_in_flight=2_000,
+            setup=setup, policy=args.policy,
+        )
+        stats_c = c.run()
+    store_c = c.result_store()
+
     content_flow = ("src", "dst", "size", "arrival", "start", "finish",
                     "finish_phys", "bytes_sent", "comp_in", "comp_out")
     content_cf = ("cf_arrival", "cf_finish", "cf_finish_phys", "cf_size",
                   "cf_width", "cf_bytes_sent")
-    mismatch = [
-        name
-        for name in content_flow + content_cf
-        if not np.array_equal(getattr(store_a, name), getattr(store_b, name))
-    ]
-    if list(store_a.cf_label) != list(store_b.cf_label):
-        mismatch.append("cf_label")
+
+    def diff(other):
+        bad = [
+            name
+            for name in content_flow + content_cf
+            if not np.array_equal(getattr(store_a, name), getattr(other, name))
+        ]
+        if list(store_a.cf_label) != list(other.cf_label):
+            bad.append("cf_label")
+        return bad
+
+    mismatch = diff(store_b)
+    mismatch_jsonl = diff(store_c)
     bounded = stats_a.peak_live_rows <= 4 * 2_000  # backlog-sized, not stream-sized
     print(
         f"serve smoke: {stats_a.flows_done} flows, {stats_a.coflows_done} "
         f"coflows | restamped {stats_a.restamped} | peak rows "
         f"{stats_a.peak_live_rows} (bounded: {bounded}) | resume at tick "
         f"{max(1, stats_a.ticks // 2)}/{stats_a.ticks} | identical: "
-        f"{not mismatch}"
+        f"{not mismatch} | jsonl replay identical: {not mismatch_jsonl}"
     )
-    if mismatch or stats_a.flows_done != total_flows or not bounded \
-            or stats_b.flows_done != stats_a.flows_done:
+    if mismatch or mismatch_jsonl or stats_a.flows_done != total_flows \
+            or not bounded or stats_b.flows_done != stats_a.flows_done \
+            or stats_c.flows_done != stats_a.flows_done:
         if mismatch:
             print(f"error: columns differ after restore: {mismatch}",
                   file=sys.stderr)
-        else:
+        if mismatch_jsonl:
+            print(
+                f"error: columns differ on JSONL block replay: "
+                f"{mismatch_jsonl}", file=sys.stderr,
+            )
+        if not (mismatch or mismatch_jsonl):
             print("error: smoke stream incomplete or unbounded", file=sys.stderr)
         return 1
     return 0

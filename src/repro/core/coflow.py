@@ -40,6 +40,19 @@ def coflow_id_watermark() -> int:
     return nxt
 
 
+def reserve_coflow_ids(n: int) -> int:
+    """Consume ``n`` consecutive coflow ids and return the first one.
+
+    Mirror of :func:`repro.core.flow.reserve_flow_ids` for the
+    block-columnar ingest path, which stamps coflow ids from arrays
+    without constructing :class:`Coflow` objects.
+    """
+    global _coflow_ids
+    first = next(_coflow_ids)
+    _coflow_ids = itertools.count(first + int(n))
+    return first
+
+
 @dataclass
 class Coflow:
     """A coflow: flows that belong to the same computing stage.

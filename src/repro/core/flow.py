@@ -51,6 +51,20 @@ def flow_id_watermark() -> int:
     return nxt
 
 
+def reserve_flow_ids(n: int) -> int:
+    """Consume ``n`` consecutive flow ids and return the first one.
+
+    The block-columnar ingest path (:mod:`repro.core.ingest`) assigns flow
+    ids from arrays instead of constructing :class:`Flow` objects; drawing
+    a contiguous block keeps those ids identical to what ``n`` successive
+    ``Flow()`` constructions would have produced.
+    """
+    global _flow_ids
+    first = next(_flow_ids)
+    _flow_ids = itertools.count(first + int(n))
+    return first
+
+
 @dataclass
 class Flow:
     """A single flow of a coflow.

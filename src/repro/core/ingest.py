@@ -1,0 +1,336 @@
+"""Block-columnar coflow ingest.
+
+A :class:`CoflowBlock` is a batch of coflows flattened into parallel
+ndarray columns — one row per coflow for arrival/width/id/label/deadline,
+one row per flow for src/dst/size/compressible/override/flow id.  It is
+the unit of the columnar source→engine handoff: arrival sources
+(:mod:`repro.service.arrivals`) emit blocks, the streaming driver restamps
+and admits them wholesale, and :meth:`SliceSimulator.submit_block` writes
+them straight into the engine's flow/coflow columns without ever building
+:class:`~repro.core.flow.Flow` or :class:`~repro.core.coflow.Coflow`
+objects.
+
+Objects remain first-class: ``from_coflows`` flattens an existing list of
+coflows (this is what ``submit_many`` uses), and a block may carry the
+backing objects alongside the columns (``coflows``) so legacy callers that
+want them — tracers, custom schedulers reaching for ``state.coflow`` —
+still get the *same* instances.  Blocks built from raw columns carry
+``None`` placeholders instead, and the engine materializes a coflow from
+its columns only if someone actually asks.
+
+Flow/coflow ids for raw-column rows are drawn from the same global
+counters as object construction, in the same per-coflow order (the ``w``
+member flow ids, then the coflow id), so a run ingested through blocks is
+bit-identical — ids included — to the same run ingested through objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.coflow import Coflow, reserve_coflow_ids
+from repro.core.flow import reserve_flow_ids
+from repro.errors import ConfigurationError
+
+
+class CoflowBlock:
+    """A batch of coflows as flat per-coflow / per-flow columns.
+
+    Per-coflow columns (length ``n_coflows``): ``arrival`` (float64),
+    ``width`` (int64), ``coflow_id`` (int64), plus ``label`` /
+    ``deadline`` lists.  Per-flow columns (length ``n_flows``, coflow
+    blocks contiguous in coflow order): ``src``/``dst`` (intp), ``size``
+    (float64), ``compressible`` (bool), ``override`` (float64, ``-1`` for
+    "no per-flow ratio override"), ``flow_id`` (int64).
+
+    ``coflows`` optionally carries the backing :class:`Coflow` objects
+    (entries may be ``None`` for rows built from raw columns).
+    """
+
+    __slots__ = (
+        "arrival",
+        "width",
+        "coflow_id",
+        "label",
+        "deadline",
+        "src",
+        "dst",
+        "size",
+        "compressible",
+        "override",
+        "flow_id",
+        "flow_arrival",
+        "coflows",
+    )
+
+    def __init__(
+        self,
+        *,
+        arrival,
+        width,
+        coflow_id,
+        label: Sequence[str],
+        deadline: Sequence[Optional[float]],
+        src,
+        dst,
+        size,
+        compressible,
+        override,
+        flow_id,
+        flow_arrival=None,
+        coflows: Optional[List[Optional[Coflow]]] = None,
+    ) -> None:
+        self.arrival = np.asarray(arrival, dtype=np.float64)
+        self.width = np.asarray(width, dtype=np.int64)
+        self.coflow_id = np.asarray(coflow_id, dtype=np.int64)
+        self.label = list(label)
+        self.deadline = list(deadline)
+        self.src = np.asarray(src, dtype=np.intp)
+        self.dst = np.asarray(dst, dtype=np.intp)
+        self.size = np.asarray(size, dtype=np.float64)
+        self.compressible = np.asarray(compressible, dtype=bool)
+        self.override = np.asarray(override, dtype=np.float64)
+        self.flow_id = np.asarray(flow_id, dtype=np.int64)
+        # Flow arrivals normally equal their coflow's, but the legacy
+        # object API lets them diverge (a coflow's arrival mutated after
+        # construction does not restamp members) — carry them explicitly
+        # so block ingest reproduces the object path bit-for-bit.
+        if flow_arrival is None:
+            self.flow_arrival = np.repeat(self.arrival, self.width)
+        else:
+            self.flow_arrival = np.asarray(flow_arrival, dtype=np.float64)
+        self.coflows = coflows
+
+    @property
+    def n_coflows(self) -> int:
+        return int(self.arrival.size)
+
+    @property
+    def n_flows(self) -> int:
+        return int(self.src.size)
+
+    def validate(self) -> None:
+        """Apply the Flow/Coflow constructor invariants to the columns.
+
+        Rows built from objects already passed ``__post_init__``; raw
+        column rows (block-parsed JSONL, synthetic generators) get the
+        same checks here, vectorized, with the same error type.
+        """
+        m, n = self.n_coflows, self.n_flows
+        if (
+            self.width.size != m
+            or self.coflow_id.size != m
+            or len(self.label) != m
+            or len(self.deadline) != m
+        ):
+            raise ConfigurationError("per-coflow columns disagree on length")
+        if int(self.width.sum()) != n or any(
+            col.size != n
+            for col in (
+                self.dst,
+                self.size,
+                self.compressible,
+                self.override,
+                self.flow_id,
+                self.flow_arrival,
+            )
+        ):
+            raise ConfigurationError("per-flow columns disagree on length")
+        if m and np.any(self.width < 1):
+            raise ConfigurationError("a coflow must contain at least one flow")
+        if m and float(self.arrival.min()) < 0:
+            raise ConfigurationError("arrival must be >= 0")
+        for d in self.deadline:
+            if d is not None and d <= 0:
+                raise ConfigurationError(f"deadline must be positive, got {d}")
+        if n:
+            if float(self.size.min()) <= 0:
+                bad = float(self.size.min())
+                raise ConfigurationError(f"flow size must be positive, got {bad}")
+            if int(self.src.min()) < 0 or int(self.dst.min()) < 0:
+                raise ConfigurationError("ports must be non-negative")
+            ov = self.override
+            has = ov != -1.0
+            if np.any(has & ~((ov > 0.0) & (ov < 1.0))):
+                bad = float(ov[has & ~((ov > 0.0) & (ov < 1.0))][0])
+                raise ConfigurationError(
+                    f"ratio_override must lie in (0, 1), got {bad}"
+                )
+
+    @classmethod
+    def from_coflows(
+        cls, coflows: Sequence[Coflow], keep_objects: bool = True
+    ) -> "CoflowBlock":
+        """Flatten existing coflow objects into a block.
+
+        With ``keep_objects`` the block carries the original instances so
+        downstream legacy paths see the very same objects.
+        """
+        coflows = list(coflows)
+        flows = [f for c in coflows for f in c.flows]
+        return cls(
+            arrival=[c.arrival for c in coflows],
+            width=[len(c.flows) for c in coflows],
+            coflow_id=[c.coflow_id for c in coflows],
+            label=[c.label for c in coflows],
+            deadline=[c.deadline for c in coflows],
+            src=[f.src for f in flows],
+            dst=[f.dst for f in flows],
+            size=[f.size for f in flows],
+            compressible=[f.compressible for f in flows],
+            override=[
+                -1.0 if f.ratio_override is None else f.ratio_override
+                for f in flows
+            ],
+            flow_id=[f.flow_id for f in flows],
+            flow_arrival=[f.arrival for f in flows],
+            coflows=coflows if keep_objects else None,
+        )
+
+    def restamp(self, mask: np.ndarray, now: float) -> None:
+        """Restamp the arrival of the masked coflows (and their flows) to
+        ``now`` — the streaming driver's late-coflow backpressure rule."""
+        self.arrival[mask] = now
+        self.flow_arrival[np.repeat(mask, self.width)] = now
+        if self.coflows is not None:
+            for i in np.flatnonzero(mask).tolist():
+                cf = self.coflows[i]
+                if cf is not None:
+                    cf.arrival = now
+                    for f in cf.flows:
+                        f.arrival = now
+
+
+class BlockBuilder:
+    """Accumulates coflows — raw columns or objects — into one block.
+
+    Sources use this to assemble an admission batch: synthetic generators
+    append raw column rows (:meth:`add_columns`), while buffered-lookahead
+    or legacy paths append full objects (:meth:`add_coflow`).  ``build``
+    concatenates everything into a single :class:`CoflowBlock`; the
+    ``coflows`` list is carried only when at least one object was added.
+    """
+
+    def __init__(self) -> None:
+        self._arrival: List[float] = []
+        self._width: List[int] = []
+        self._cid: List[int] = []
+        self._label: List[str] = []
+        self._deadline: List[Optional[float]] = []
+        self._src: List[np.ndarray] = []
+        self._dst: List[np.ndarray] = []
+        self._size: List[np.ndarray] = []
+        self._comp: List[np.ndarray] = []
+        self._override: List[np.ndarray] = []
+        self._fid: List[np.ndarray] = []
+        self._farr: List[np.ndarray] = []
+        self._objs: List[Optional[Coflow]] = []
+        self._any_obj = False
+        self.n_flows = 0
+
+    @property
+    def n_coflows(self) -> int:
+        return len(self._arrival)
+
+    def add_columns(
+        self,
+        arrival: float,
+        src: np.ndarray,
+        dst: np.ndarray,
+        size: np.ndarray,
+        compressible: np.ndarray,
+        override: Optional[np.ndarray] = None,
+        label: str = "",
+        deadline: Optional[float] = None,
+        flow_id0: Optional[int] = None,
+        coflow_id: Optional[int] = None,
+    ) -> int:
+        """Append one coflow from raw per-flow columns; returns its id.
+
+        When ids are not supplied they are reserved from the global
+        counters here, in object-construction order (flow ids first, then
+        the coflow id).
+        """
+        src = np.asarray(src, dtype=np.intp)
+        w = int(src.size)
+        if flow_id0 is None:
+            flow_id0 = reserve_flow_ids(w)
+        if coflow_id is None:
+            coflow_id = reserve_coflow_ids(1)
+        self._arrival.append(float(arrival))
+        self._width.append(w)
+        self._cid.append(int(coflow_id))
+        self._label.append(label)
+        self._deadline.append(deadline)
+        self._src.append(src)
+        self._dst.append(np.asarray(dst, dtype=np.intp))
+        self._size.append(np.asarray(size, dtype=np.float64))
+        self._comp.append(np.asarray(compressible, dtype=bool))
+        if override is None:
+            self._override.append(np.full(w, -1.0))
+        else:
+            self._override.append(np.asarray(override, dtype=np.float64))
+        self._fid.append(np.arange(flow_id0, flow_id0 + w, dtype=np.int64))
+        self._farr.append(np.full(w, float(arrival)))
+        self._objs.append(None)
+        self.n_flows += w
+        return int(coflow_id)
+
+    def add_coflow(self, coflow: Coflow) -> int:
+        """Append one already-constructed coflow object; returns its id."""
+        w = len(coflow.flows)
+        self._arrival.append(coflow.arrival)
+        self._width.append(w)
+        self._cid.append(coflow.coflow_id)
+        self._label.append(coflow.label)
+        self._deadline.append(coflow.deadline)
+        self._src.append(np.fromiter((f.src for f in coflow.flows), np.intp, w))
+        self._dst.append(np.fromiter((f.dst for f in coflow.flows), np.intp, w))
+        self._size.append(
+            np.fromiter((f.size for f in coflow.flows), np.float64, w)
+        )
+        self._comp.append(
+            np.fromiter((f.compressible for f in coflow.flows), bool, w)
+        )
+        self._override.append(
+            np.fromiter(
+                (
+                    -1.0 if f.ratio_override is None else f.ratio_override
+                    for f in coflow.flows
+                ),
+                np.float64,
+                w,
+            )
+        )
+        self._fid.append(
+            np.fromiter((f.flow_id for f in coflow.flows), np.int64, w)
+        )
+        self._farr.append(
+            np.fromiter((f.arrival for f in coflow.flows), np.float64, w)
+        )
+        self._objs.append(coflow)
+        self._any_obj = True
+        self.n_flows += w
+        return coflow.coflow_id
+
+    def build(self) -> Optional[CoflowBlock]:
+        """The accumulated block, or ``None`` when nothing was added."""
+        if not self._arrival:
+            return None
+        return CoflowBlock(
+            arrival=self._arrival,
+            width=self._width,
+            coflow_id=self._cid,
+            label=self._label,
+            deadline=self._deadline,
+            src=np.concatenate(self._src),
+            dst=np.concatenate(self._dst),
+            size=np.concatenate(self._size),
+            compressible=np.concatenate(self._comp),
+            override=np.concatenate(self._override),
+            flow_id=np.concatenate(self._fid),
+            flow_arrival=np.concatenate(self._farr),
+            coflows=list(self._objs) if self._any_obj else None,
+        )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core import rate_allocation as ra
 from repro.core.coflow import CoflowResult
+from repro.core.events import HeapCalendar
 from repro.core.fvdf import FVDFScheduler, compression_strategy, expected_fct
 from repro.core.scheduler import Allocation, SchedulerView
 from repro.core.simulator import (
@@ -237,6 +238,17 @@ class PreColumnarSliceSimulator(SliceSimulator):
         super().__init__(*args, **kwargs)
         self._cached_perm = np.empty(0, dtype=np.intp)
         self._cached_starts = np.zeros(1, dtype=np.intp)
+        # The pre-columnar calendar held (arrival, counter, Coflow) heap
+        # entries, and per-coflow state lived in _CoflowRecord objects
+        # keyed by id (the columnar engine keys dense slots instead).
+        self._calendar = HeapCalendar()
+        self._coflows = {}  # coflow_id -> _CoflowRecord
+        self._coflow_arrival = {}  # coflow_id -> arrival time
+
+    def _next_arrival(self):
+        """Earliest pending non-cancelled arrival (lazy lambda prune)."""
+        self._calendar.prune_head(lambda c: c.coflow_id in self._cancelled)
+        return self._calendar.peek_time()
 
     # ------------------------------------------------------------- ingest
     def submit(self, coflow) -> None:

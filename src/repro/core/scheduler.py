@@ -53,7 +53,12 @@ class CoflowState:
     Attributes
     ----------
     coflow:
-        The immutable coflow definition.
+        The immutable coflow definition.  With the block-columnar ingest
+        path the engine may never have built a :class:`Coflow` object at
+        all — states constructed with ``coflow_id=``/``coflow_factory=``
+        materialize one from the engine's columns on first access, while
+        :attr:`coflow_id` always answers without materializing (it is the
+        only coflow field the stock policies read per decision).
     flow_idx:
         Indices of this coflow's *unfinished* flows within the view's
         active-flow arrays (refreshed at every decision point).  Either an
@@ -66,19 +71,48 @@ class CoflowState:
         the scheduler, persisted across decision points by the engine.
     """
 
-    __slots__ = ("coflow", "priority_class", "_flow_idx", "_seg", "_ordinal")
+    __slots__ = (
+        "priority_class",
+        "_coflow",
+        "_coflow_id",
+        "_coflow_factory",
+        "_flow_idx",
+        "_seg",
+        "_ordinal",
+    )
 
     def __init__(
         self,
-        coflow: Coflow,
+        coflow: Optional[Coflow] = None,
         flow_idx: Optional[np.ndarray] = None,
         priority_class: float = 1.0,
+        *,
+        coflow_id: Optional[int] = None,
+        coflow_factory=None,
     ):
-        self.coflow = coflow
+        if coflow is None and coflow_id is None:
+            raise TypeError("CoflowState needs a coflow or a coflow_id")
+        self._coflow = coflow
+        self._coflow_id = (
+            int(coflow.coflow_id) if coflow is not None else int(coflow_id)
+        )
+        self._coflow_factory = coflow_factory
         self.priority_class = priority_class
         self._flow_idx = flow_idx
         self._seg: Optional[_SegmentRef] = None
         self._ordinal = 0
+
+    @property
+    def coflow(self) -> Coflow:
+        cf = self._coflow
+        if cf is None:
+            cf = self._coflow = self._coflow_factory()
+        return cf
+
+    @coflow.setter
+    def coflow(self, value: Coflow) -> None:
+        self._coflow = value
+        self._coflow_id = int(value.coflow_id)
 
     @property
     def flow_idx(self) -> np.ndarray:
@@ -100,7 +134,7 @@ class CoflowState:
 
     @property
     def coflow_id(self) -> int:
-        return self.coflow.coflow_id
+        return self._coflow_id
 
     def __repr__(self):
         return (

@@ -37,7 +37,8 @@ from repro.compression.engine import CompressionEngine
 from repro.core import kernels
 from repro.core.coflow import Coflow, CoflowResult
 from repro.core.events import ArrivalCalendar, EventKind, ScheduleTrigger
-from repro.core.flow import FlowResult
+from repro.core.flow import Flow, FlowResult
+from repro.core.ingest import CoflowBlock
 from repro.core.results import LazyCoflowResults, LazyFlowResults, ResultStore
 from repro.core.scheduler import (
     Allocation,
@@ -58,10 +59,14 @@ DEFAULT_SLICE = 0.01
 _PENDING, _ACTIVE, _DONE, _CANCELLED = 0, 1, 2, 3
 
 #: Growable SoA flow columns (order mirrors the ``__init__`` assignments).
+#: ``_override`` carries ``ratio_override`` (-1 = none) so a coflow can be
+#: reconstructed faithfully from columns alone (lazy materialization,
+#: checkpoints) — the effective ``_xi`` already folds it in for the
+#: physics.
 _FLOW_COLS = (
     "_src", "_dst", "_size", "_arrival", "_compressible", "_coflow_of",
-    "_flow_id", "_raw", "_comp", "_xi", "_bytes_sent", "_comp_in",
-    "_comp_out", "_start", "_finish", "_finish_phys", "_state",
+    "_flow_id", "_raw", "_comp", "_xi", "_override", "_bytes_sent",
+    "_comp_in", "_comp_out", "_start", "_finish", "_finish_phys", "_state",
     "_slot_of", "_done_seq",
 )
 
@@ -366,6 +371,7 @@ class SliceSimulator:
         self._raw = np.empty(0, dtype=np.float64)
         self._comp = np.empty(0, dtype=np.float64)
         self._xi = np.empty(0, dtype=np.float64)  # effective ratio per flow
+        self._override = np.empty(0, dtype=np.float64)  # ratio_override, -1=None
         self._bytes_sent = np.empty(0, dtype=np.float64)
         self._comp_in = np.empty(0, dtype=np.float64)
         self._comp_out = np.empty(0, dtype=np.float64)
@@ -395,7 +401,12 @@ class SliceSimulator:
         self._cf_bytes = np.empty(0, dtype=np.float64)
         self._cf_labels: List[str] = []
         self._cf_deadlines: List[Optional[float]] = []
-        self._cf_recs: List[_CoflowRecord] = []
+        # Per-slot lazy object caches: the backing Coflow (None for rows
+        # ingested from raw columns until someone asks for the object)
+        # and the CoflowState handed to schedulers (created on first
+        # activation).
+        self._cf_coflows: List[Optional[Coflow]] = []
+        self._cf_states: List[Optional[CoflowState]] = []
 
         # --- retirement log (feeds the ResultStore snapshot) ----------------
         self._done_chunks: List[np.ndarray] = []   # global flow idx, per retire
@@ -433,14 +444,16 @@ class SliceSimulator:
         # :mod:`repro.core.kernels.arena`).
         self._view_scratch = kernels.arena.new_arena()
         self._cap_events: List = []
-        self._coflows: Dict[int, _CoflowRecord] = {}
-        # coflow id -> arrival time; kept for the pinned pre-columnar
-        # engine's _regroup (the columnar path uses _cf_arrival slots).
-        self._coflow_arrival: Dict[int, float] = {}
+        #: coflow id -> dense slot index (remapped on drain compaction).
+        self._coflows: Dict[int, int] = {}
         self._calendar = ArrivalCalendar()
         self._claim_nodes: List[int] = []  # nodes with a core claimed last window
 
         self._k = 0  # current slice index; now == _k * slice_len
+        # Memoized _time_eps(now): `now` only changes with _k, and the
+        # hot paths (submit/activate/horizon) all want the same epsilon.
+        self._eps_k = -1
+        self._eps_val = 0.0
         self._started = False
         self._decision_points = 0
         self._ingress_bytes = np.zeros(fabric.num_ingress)
@@ -524,87 +537,187 @@ class SliceSimulator:
         self.submit_many([coflow])
 
     def submit_many(self, coflows: Sequence[Coflow]) -> None:
-        """Batched ingest: write every flow column in bulk.
+        """Batched ingest of coflow objects.
 
-        One ``_grow``, one vectorized ``xi`` evaluation (the compression
-        model accepts arrays), one ``validate_endpoints`` call for the
-        whole batch — per-flow Python is limited to reading the dataclass
-        fields into lists.
+        Flattens the dataclasses into a :class:`CoflowBlock` (the only
+        per-flow Python left on this path) and hands it to
+        :meth:`submit_block`; the block keeps the original objects so
+        legacy callers see the same instances.
         """
         coflows = list(coflows)
-        seen_batch = set()
-        for coflow in coflows:
-            if coflow.arrival < self.now - _time_eps(self.now):
-                raise ConfigurationError(
-                    f"coflow {coflow.coflow_id} arrives at {coflow.arrival} "
-                    f"but the simulation is already at {self.now}"
-                )
-            if coflow.coflow_id in self._coflows or coflow.coflow_id in seen_batch:
-                raise ConfigurationError(
-                    f"coflow {coflow.coflow_id} submitted twice"
-                )
-            seen_batch.add(coflow.coflow_id)
-        n_new = sum(len(c.flows) for c in coflows)
-        if n_new == 0:
+        if not coflows:
             return
-        flows = [f for c in coflows for f in c.flows]
-        src = np.asarray([f.src for f in flows], dtype=np.intp)
-        dst = np.asarray([f.dst for f in flows], dtype=np.intp)
-        self.fabric.validate_endpoints(src, dst)
-        size = np.asarray([f.size for f in flows], dtype=np.float64)
-        override = np.asarray(
-            [-1.0 if f.ratio_override is None else f.ratio_override for f in flows],
-            dtype=np.float64,
-        )
+        self.submit_block(CoflowBlock.from_coflows(coflows))
+
+    def submit_block(self, block: CoflowBlock) -> None:
+        """Block-columnar ingest: write every flow/coflow column in bulk.
+
+        One ``_grow``, one vectorized ``xi`` evaluation, one
+        ``validate_endpoints`` call and one staged calendar append for the
+        whole block; per-coflow Python is limited to the id→slot dict
+        fill.  Blocks built from raw columns (streaming sources) never
+        construct :class:`Flow`/:class:`Coflow` objects at all.
+        """
+        m = block.n_coflows
+        if m == 0:
+            return
+        block.validate()
+        now = self.now
+        eps = self._eps_now()
+        if float(block.arrival.min()) < now - eps:
+            i = int(block.arrival.argmin())
+            raise ConfigurationError(
+                f"coflow {int(block.coflow_id[i])} arrives at "
+                f"{float(block.arrival[i])} "
+                f"but the simulation is already at {now}"
+            )
+        ids = block.coflow_id
+        n_new = block.n_flows
+        self.fabric.validate_endpoints(block.src, block.dst)
+        size = block.size
         if self.compression is not None:
             xi = np.asarray(self.compression.ratio(size), dtype=np.float64)
         else:
             xi = np.ones_like(size)
+        override = block.override
         has_override = override >= 0.0
         if has_override.any():
             xi = np.where(has_override, override, xi)
 
         self._grow(n_new)
         g0, g1 = self._n, self._n + n_new
-        widths = np.asarray([len(c.flows) for c in coflows], dtype=np.int64)
+        widths = block.width
         slot0 = self._n_cf
-        self._cf_grow(len(coflows))
-        slots = np.arange(slot0, slot0 + len(coflows), dtype=np.intp)
+        self._cf_grow(m)
+        slots = np.arange(slot0, slot0 + m, dtype=np.intp)
 
-        self._src[g0:g1] = src
-        self._dst[g0:g1] = dst
+        self._src[g0:g1] = block.src
+        self._dst[g0:g1] = block.dst
         self._size[g0:g1] = size
-        self._arrival[g0:g1] = [f.arrival for f in flows]
-        self._compressible[g0:g1] = [f.compressible for f in flows]
-        self._coflow_of[g0:g1] = np.repeat(
-            np.asarray([c.coflow_id for c in coflows], dtype=np.int64), widths
-        )
-        self._flow_id[g0:g1] = [f.flow_id for f in flows]
+        # Per-flow arrivals normally equal the coflow's but the legacy
+        # object API lets them diverge, so the block carries them.
+        self._arrival[g0:g1] = block.flow_arrival
+        self._compressible[g0:g1] = block.compressible
+        self._coflow_of[g0:g1] = np.repeat(ids, widths)
+        self._flow_id[g0:g1] = block.flow_id
         self._raw[g0:g1] = size
         self._comp[g0:g1] = 0.0
         self._xi[g0:g1] = xi
+        self._override[g0:g1] = override
         self._state[g0:g1] = _PENDING
         self._slot_of[g0:g1] = np.repeat(slots, widths)
         self._n = g1
 
         firsts = g0 + np.concatenate(([0], np.cumsum(widths[:-1])))
-        self._cf_id[slots] = [c.coflow_id for c in coflows]
-        self._cf_arrival[slots] = [c.arrival for c in coflows]
+        self._cf_id[slots] = ids
+        self._cf_arrival[slots] = block.arrival
         self._cf_remaining[slots] = widths
         self._cf_first[slots] = firsts
         self._cf_count[slots] = widths
-        self._n_cf += len(coflows)
-        for coflow, first, width, slot in zip(
-            coflows, firsts.tolist(), widths.tolist(), slots.tolist()
-        ):
-            idx = np.arange(first, first + width, dtype=np.intp)
-            rec = _CoflowRecord(coflow, idx, slot=slot)
-            self._coflows[coflow.coflow_id] = rec
-            self._coflow_arrival[coflow.coflow_id] = coflow.arrival
-            self._cf_labels.append(coflow.label)
-            self._cf_deadlines.append(coflow.deadline)
-            self._cf_recs.append(rec)
-            self._calendar.push(coflow)
+        self._n_cf += m
+        self._cf_labels.extend(block.label)
+        self._cf_deadlines.extend(block.deadline)
+        if block.coflows is not None:
+            self._cf_coflows.extend(block.coflows)
+        else:
+            self._cf_coflows.extend([None] * m)
+        self._cf_states.extend([None] * m)
+        cmap = self._coflows
+        slot = slot0
+        for cid in ids.tolist():
+            if cid in cmap:
+                # roll the block back before raising: nothing submitted
+                self._n = g0
+                self._n_cf = slot0
+                del self._cf_labels[slot0:]
+                del self._cf_deadlines[slot0:]
+                del self._cf_coflows[slot0:]
+                del self._cf_states[slot0:]
+                for done in ids.tolist():
+                    if cmap.get(done, -1) >= slot0:
+                        del cmap[done]
+                raise ConfigurationError(f"coflow {cid} submitted twice")
+            cmap[cid] = slot
+            slot += 1
+        self._calendar.push_batch(block.arrival, slots)
+
+    # ------------------------------------------------ lazy per-slot objects
+    def _coflow_for_slot(self, slot: int) -> Coflow:
+        """The backing :class:`Coflow` of a slot, materialized on demand.
+
+        Rows ingested from raw columns have no object until a legacy
+        caller (tracer callback, ``state.coflow``, ``export_state``)
+        asks; reconstruction carries the stored ids, so the object is
+        indistinguishable from one built at ingest time.
+        """
+        cf = self._cf_coflows[slot]
+        if cf is None:
+            a = int(self._cf_first[slot])
+            b = a + int(self._cf_count[slot])
+            arrival = float(self._cf_arrival[slot])
+            flows = [
+                Flow(
+                    src=src,
+                    dst=dst,
+                    size=size,
+                    arrival=arrival,
+                    compressible=comp,
+                    ratio_override=None if ov < 0.0 else ov,
+                    flow_id=fid,
+                )
+                for src, dst, size, comp, ov, fid in zip(
+                    self._src[a:b].tolist(),
+                    self._dst[a:b].tolist(),
+                    self._size[a:b].tolist(),
+                    self._compressible[a:b].tolist(),
+                    self._override[a:b].tolist(),
+                    self._flow_id[a:b].tolist(),
+                )
+            ]
+            cf = Coflow(
+                flows,
+                arrival=arrival,
+                label=self._cf_labels[slot],
+                deadline=self._cf_deadlines[slot],
+                coflow_id=int(self._cf_id[slot]),
+            )
+            self._cf_coflows[slot] = cf
+        return cf
+
+    def _materialize_coflow(self, coflow_id: int) -> Coflow:
+        """Coflow object by id — the factory behind lazy CoflowStates.
+
+        Resolves the *current* slot through the id map, so the factory
+        stays valid across drain compactions.
+        """
+        return self._coflow_for_slot(self._coflows[coflow_id])
+
+    def _state_for_slot(self, slot: int) -> CoflowState:
+        """The scheduler-facing :class:`CoflowState` of a slot.
+
+        Created lazily on first activation; carries only the coflow id
+        plus a materialization factory, so the stock policies (which read
+        ``state.coflow_id``) never force the object into existence.
+        """
+        st = self._cf_states[slot]
+        if st is None:
+            cid = int(self._cf_id[slot])
+            st = CoflowState(
+                coflow_id=cid,
+                coflow_factory=lambda sim=self, cid=cid: (
+                    sim._materialize_coflow(cid)
+                ),
+                flow_idx=np.empty(0, dtype=np.intp),
+            )
+            self._cf_states[slot] = st
+        return st
+
+    def _eps_now(self) -> float:
+        """Memoized ``_time_eps(self.now)`` — ``now`` only moves with ``_k``."""
+        if self._eps_k != self._k:
+            self._eps_val = _time_eps(self._k * self.slice_len)
+            self._eps_k = self._k
+        return self._eps_val
 
     def cancel_coflow(self, coflow_id: int) -> int:
         """Abort a coflow: its unfinished flows leave the fabric now.
@@ -622,15 +735,16 @@ class SliceSimulator:
         ``_start`` stamped), so store-level analysis can tell an aborted
         flow's lifetime apart from "finished at t=0".
         """
-        rec = self._coflows.get(coflow_id)
-        if rec is None:
+        slot = self._coflows.get(coflow_id)
+        if slot is None:
             raise ConfigurationError(f"unknown coflow {coflow_id}")
-        if self._cf_remaining[rec.slot] == 0:
+        if self._cf_remaining[slot] == 0:
             raise ConfigurationError(
                 f"coflow {coflow_id} already completed; nothing to cancel"
             )
         now = self.now
-        gi = rec.global_idx
+        first = int(self._cf_first[slot])
+        gi = np.arange(first, first + int(self._cf_count[slot]), dtype=np.intp)
         st = self._state[gi]
         live = (st == _PENDING) | (st == _ACTIVE)
         self._start[gi[live & (st == _PENDING)]] = now
@@ -640,10 +754,13 @@ class SliceSimulator:
         unset = live & (self._finish_phys[gi] == 0.0)
         self._finish_phys[gi[unset]] = now
         cancelled = int(np.count_nonzero(live))
+        # Activation flips a whole coflow at once, so flows are all
+        # _PENDING exactly when the coflow is still in the calendar.
+        if st[0] == _PENDING:
+            self._calendar.discard(slot)
         self._active = self._active[self._coflow_of[self._active] != coflow_id]
         self._groups_dirty = True
-        self._cf_remaining[rec.slot] = 0
-        rec.remaining = 0
+        self._cf_remaining[slot] = 0
         self._cancelled.add(int(coflow_id))
         tr = self.obs.tracer
         if tr.enabled:
@@ -689,7 +806,7 @@ class SliceSimulator:
         tr = self.obs.tracer
         flt = self.obs.recorder
         while self._cap_events and (
-            self._cap_events[0][0] <= self.now + _time_eps(self.now)
+            self._cap_events[0][0] <= self.now + self._eps_now()
         ):
             _, side, port, cap = heapq.heappop(self._cap_events)
             getattr(self.fabric, side).set_capacity(port, cap)
@@ -935,9 +1052,9 @@ class SliceSimulator:
         evict_slot = np.zeros(n_cf, dtype=bool)
         evict_slot[closed] = True
         for cid in self._cancelled:
-            rec = self._coflows.get(cid)
-            if rec is not None:
-                evict_slot[rec.slot] = True
+            slot = self._coflows.get(cid)
+            if slot is not None:
+                evict_slot[slot] = True
         done = self._done_concat()
         if done.size:
             drain_mask = evict_slot[self._slot_of[done]]
@@ -975,15 +1092,22 @@ class SliceSimulator:
         self._cf_deadlines = [
             x for x, k in zip(self._cf_deadlines, keep_list) if k
         ]
-        self._cf_recs = [
-            r for r, k in zip(self._cf_recs, keep_list) if k
+        self._cf_coflows = [
+            x for x, k in zip(self._cf_coflows, keep_list) if k
         ]
-        for slot, rec in enumerate(self._cf_recs):
-            rec.slot = slot
-            rec.global_idx = new_of_flow[rec.global_idx]
+        self._cf_states = [
+            x for x, k in zip(self._cf_states, keep_list) if k
+        ]
         for cid in evicted_ids:
             self._coflows.pop(cid, None)
-            self._coflow_arrival.pop(cid, None)
+        # Survivors' slots shifted down: rebuild the id map from the
+        # compacted id column, and renumber the calendar's pending
+        # entries (entries of evicted slots — cancelled-before-arrival
+        # coflows — drop out).
+        for slot, cid in enumerate(self._cf_id[: self._n_cf].tolist()):
+            self._coflows[cid] = slot
+        slot_map = np.where(keep_slot, new_of_slot, np.intp(-1))
+        self._calendar.remap(slot_map)
 
         self._active = new_of_flow[self._active]
         self._done_chunks = [new_of_flow[held]] if held.size else []
@@ -1011,6 +1135,7 @@ class SliceSimulator:
                 "(core claims outstanding)"
             )
         n, n_cf = self._n, self._n_cf
+        cal_time, cal_seq, cal_slot = self._calendar.export_entries()
         return {
             "slice_len": self.slice_len,
             "k": self._k,
@@ -1034,11 +1159,14 @@ class SliceSimulator:
             "egress_capacity": self.fabric.egress.capacity.copy(),
             "cancelled": sorted(self._cancelled),
             "cap_events": sorted(self._cap_events),
+            "cal_time": cal_time,
+            "cal_seq": cal_seq,
+            "cal_slot": cal_slot,
             "cf_labels": list(self._cf_labels),
             "cf_deadlines": list(self._cf_deadlines),
-            "coflows": [rec.coflow for rec in self._cf_recs],
             "priority_class": [
-                rec.state.priority_class for rec in self._cf_recs
+                1.0 if st is None else st.priority_class
+                for st in self._cf_states
             ],
             "scheduler": self.scheduler,
         }
@@ -1062,7 +1190,14 @@ class SliceSimulator:
         self._grow(n)
         self._cf_grow(n_cf)
         for c in _FLOW_COLS:
-            getattr(self, c)[:n] = state["flow_cols"][c]
+            col = state["flow_cols"].get(c)
+            if col is None and c == "_override":
+                # pre-columnar-ingest checkpoints lack the override
+                # column; those runs never used ratio_override through
+                # the service path, so "no override" is faithful.
+                getattr(self, c)[:n] = -1.0
+            else:
+                getattr(self, c)[:n] = col
         self._n = n
         for c in _CF_COLS:
             getattr(self, c)[:n_cf] = state["cf_cols"][c]
@@ -1100,26 +1235,42 @@ class SliceSimulator:
         heapq.heapify(self._cap_events)
         self._cf_labels = list(state["cf_labels"])
         self._cf_deadlines = list(state["cf_deadlines"])
-        self._cf_recs = []
+        # Legacy checkpoints carried the Coflow objects; columnar ones
+        # reconstruct them lazily from the columns instead.
+        objs = state.get("coflows")
+        self._cf_coflows = list(objs) if objs is not None else [None] * n_cf
         self._coflows = {}
-        self._coflow_arrival = {}
+        self._cf_states = []
         prio = state["priority_class"]
-        for slot, coflow in enumerate(state["coflows"]):
-            first = int(self._cf_first[slot])
-            count = int(self._cf_count[slot])
-            idx = np.arange(first, first + count, dtype=np.intp)
-            rec = _CoflowRecord(coflow, idx, slot=slot)
-            rec.remaining = int(self._cf_remaining[slot])
-            rec.state.priority_class = prio[slot]
-            self._cf_recs.append(rec)
-            self._coflows[coflow.coflow_id] = rec
-            self._coflow_arrival[coflow.coflow_id] = coflow.arrival
-            if (
-                count
-                and self._state[first] == _PENDING
-                and coflow.coflow_id not in self._cancelled
-            ):
-                self._calendar.push(coflow)
+        for slot, cid in enumerate(self._cf_id[:n_cf].tolist()):
+            self._coflows[cid] = slot
+            st = CoflowState(
+                coflow_id=cid,
+                coflow_factory=(
+                    lambda sim=self, cid=cid: sim._materialize_coflow(cid)
+                ),
+                flow_idx=np.empty(0, dtype=np.intp),
+                priority_class=prio[slot],
+            )
+            if self._cf_coflows[slot] is not None:
+                st.coflow = self._cf_coflows[slot]
+            self._cf_states.append(st)
+        if "cal_time" in state:
+            self._calendar.import_entries(
+                state["cal_time"], state["cal_seq"], state["cal_slot"]
+            )
+        else:
+            # Legacy rebuild: every still-pending, non-cancelled coflow
+            # re-enters the calendar in slot (== original submission)
+            # order, which reproduces the original tie-break sequence.
+            for slot in range(n_cf):
+                first = int(self._cf_first[slot])
+                if (
+                    int(self._cf_count[slot])
+                    and self._state[first] == _PENDING
+                    and int(self._cf_id[slot]) not in self._cancelled
+                ):
+                    self._calendar.push(float(self._cf_arrival[slot]), slot)
         self._groups_dirty = True
 
     # ------------------------------------------------------------- internals
@@ -1136,24 +1287,42 @@ class SliceSimulator:
         self._k = max(self._k, k)
 
     def _next_arrival(self) -> Optional[float]:
-        """Earliest pending non-cancelled arrival."""
-        self._calendar.prune_head(lambda c: c.coflow_id in self._cancelled)
+        """Earliest pending arrival (cancellations are lazily discarded
+        inside the calendar, so no predicate scan happens here)."""
         return self._calendar.peek_time()
 
-    def _activate_due(self) -> List[Coflow]:
-        due = [
-            c
-            for c in self._calendar.pop_due(self.now + _time_eps(self.now))
-            if c.coflow_id not in self._cancelled
-        ]
-        if not due:
-            return due
-        recs = [self._coflows[c.coflow_id] for c in due]
-        new_idx = (
-            recs[0].global_idx
-            if len(recs) == 1
-            else np.concatenate([r.global_idx for r in recs])
-        )
+    def _activate_due(self) -> int:
+        """Activate every coflow whose arrival is due; returns the count.
+
+        The calendar hands back a span of *slots* in pop order.  Because
+        submission appends each coflow's flow rows as one contiguous
+        block in slot order and drain evicts whole slots, consecutive
+        due slots activate as a single ``arange`` slice — no per-coflow
+        ``global_idx`` gather at all on the common streaming path.
+        """
+        slots = self._calendar.pop_due(self.now + self._eps_now())
+        n_due = int(slots.size)
+        if not n_due:
+            return 0
+        firsts = self._cf_first[slots]
+        counts = self._cf_count[slots]
+        total = int(counts.sum())
+        if n_due == 1 or (
+            int(slots[-1]) - int(slots[0]) == n_due - 1
+            and bool(np.all(np.diff(slots) == 1))
+        ):
+            # Contiguous ascending slots → one flow-row slice.
+            new_idx = np.arange(
+                int(firsts[0]), int(firsts[0]) + total, dtype=np.intp
+            )
+        else:
+            # Gather without a Python loop: repeat each block's base
+            # offset and add a running ramp.
+            offs = np.cumsum(counts) - counts
+            new_idx = (
+                np.repeat(firsts - offs, counts)
+                + np.arange(total, dtype=np.intp)
+            ).astype(np.intp, copy=False)
         self._state[new_idx] = _ACTIVE
         self._start[new_idx] = self.now
         old_n = self._active.size
@@ -1161,25 +1330,22 @@ class SliceSimulator:
         if self._groups_dirty or self.force_regroup:
             self._groups_dirty = True
         else:
-            self._regroup_extend(recs, new_idx, old_n)
+            self._regroup_extend(slots, new_idx, old_n)
         tr = self.obs.tracer
         if tr.enabled:
-            for coflow, rec in zip(due, recs):
+            for cid, w in zip(
+                self._cf_id[slots].tolist(), counts.tolist()
+            ):
                 tr.emit(
-                    self.now,
-                    "arrival",
-                    coflow_id=int(coflow.coflow_id),
-                    n_flows=len(rec.global_idx),
+                    self.now, "arrival", coflow_id=int(cid), n_flows=int(w)
                 )
         flt = self.obs.recorder
         if flt.enabled:
             flt.add_arrivals(
-                self.now,
-                [c.coflow_id for c in due],
-                [len(r.global_idx) for r in recs],
+                self.now, self._cf_id[slots].tolist(), counts.tolist()
             )
-        self.obs.metrics.counter("engine.arrivals").inc(len(due))
-        return due
+        self.obs.metrics.counter("engine.arrivals").inc(n_due)
+        return n_due
 
     def _regroup(self) -> None:
         """Recompute the coflow segmentation of the active set from scratch.
@@ -1221,7 +1387,7 @@ class SliceSimulator:
         self._seg.starts = starts
         states: List[CoflowState] = []
         for k, s in enumerate(group_slots.tolist()):
-            state = self._cf_recs[s].state
+            state = self._state_for_slot(s)
             state.bind_segments(self._seg, k)
             states.append(state)
         self._cached_states = states
@@ -1240,7 +1406,7 @@ class SliceSimulator:
         self._groups_dirty = False
 
     def _regroup_extend(
-        self, recs: List[_CoflowRecord], new_idx: np.ndarray, old_n: int
+        self, slots: np.ndarray, new_idx: np.ndarray, old_n: int
     ) -> None:
         """Append delta: newly arrived coflows join the cached grouping.
 
@@ -1250,24 +1416,29 @@ class SliceSimulator:
         touching the existing segmentation.  The one exception — a
         coflow submitted mid-run whose arrival does not exceed the last
         active group's — falls back to a full rebuild.
+
+        ``slots`` are the batch's coflow slots in activation order;
+        ``new_idx`` their flow rows (block-contiguous, slot order) and
+        ``old_n`` the pre-batch active count.
         """
-        slots = np.asarray([r.slot for r in recs], dtype=np.intp)
         arrivals = self._cf_arrival[slots]
         gslots = self._cached_group_slots
         if gslots.size and arrivals.min() <= self._cf_arrival[gslots[-1]]:
             self._groups_dirty = True
             return
         order = np.lexsort((self._cf_id[slots], arrivals))
-        widths = np.asarray([len(r.global_idx) for r in recs], dtype=np.int64)
+        widths = self._cf_count[slots]
         g0 = len(self._cached_states)
-        # Batch positions: rec i occupies [off[i], off[i]+width[i]) past old_n.
+        # Batch positions: slot i occupies [off[i], off[i]+width[i]) past old_n.
         offs = np.concatenate(([0], np.cumsum(widths))).astype(np.intp)
-        perm_chunk = np.concatenate(
-            [np.arange(old_n + offs[i], old_n + offs[i + 1], dtype=np.intp)
-             for i in order]
-        )
-        rank = np.empty(len(recs), dtype=np.intp)
-        rank[order] = np.arange(len(recs), dtype=np.intp)
+        base = old_n + offs[:-1]
+        ramp_off = (np.cumsum(widths[order]) - widths[order]).astype(np.intp)
+        perm_chunk = (
+            np.repeat(base[order] - ramp_off, widths[order])
+            + np.arange(int(widths.sum()), dtype=np.intp)
+        ).astype(np.intp, copy=False)
+        rank = np.empty(slots.size, dtype=np.intp)
+        rank[order] = np.arange(slots.size, dtype=np.intp)
         unit_chunk = g0 + np.repeat(rank, widths).astype(np.intp, copy=False)
         counts_sorted = widths[order]
         seg = self._seg
@@ -1276,7 +1447,7 @@ class SliceSimulator:
             (seg.starts, seg.starts[-1] + np.cumsum(counts_sorted))
         ).astype(np.intp, copy=False)
         for j, i in enumerate(order.tolist()):
-            state = recs[i].state
+            state = self._state_for_slot(int(slots[i]))
             state.bind_segments(seg, g0 + j)
             self._cached_states.append(state)
         self._cached_group_slots = np.concatenate(
@@ -1481,12 +1652,11 @@ class SliceSimulator:
         # floats, so its error is ulp-of-now sized (~5e-7 slices at
         # t=1e9, δ=0.05) and a horizon exactly k slices away would ceil
         # to k+1, overshooting ``until`` by a whole slice on resume.
-        tol = max(1e-9, _time_eps(self.now) / self.slice_len)
+        eps_now = self._eps_now()
+        tol = max(1e-9, eps_now / self.slice_len)
         n = max(1, int(math.ceil(dt_min / self.slice_len - tol)))
         # Events within the same tolerance of the boundary are ties.
-        window = n * self.slice_len + max(
-            n * self.slice_len * 1e-9, _time_eps(self.now)
-        )
+        window = n * self.slice_len + max(n * self.slice_len * 1e-9, eps_now)
         kinds = {kind for dt, kind in candidates if dt <= window}
         return n, kinds
 
@@ -1627,20 +1797,20 @@ class SliceSimulator:
             for fn in self._on_flow_complete:
                 fn(fr)
         for s in closed.tolist():
-            rec = self._cf_recs[s]
-            gi = rec.global_idx
+            a = int(self._cf_first[s])
+            gi = np.arange(a, a + int(self._cf_count[s]), dtype=np.intp)
             members = gi[np.argsort(self._done_seq[gi], kind="stable")]
             cr = CoflowResult(
                 coflow_id=int(self._cf_id[s]),
-                label=rec.coflow.label,
-                arrival=rec.coflow.arrival,
+                label=self._cf_labels[s],
+                arrival=float(self._cf_arrival[s]),
                 finish=boundary,
                 finish_physical=float(self._cf_finish_phys[s]),
                 size=float(self._cf_size[s]),
                 width=len(gi),
                 bytes_sent=float(self._cf_bytes[s]),
                 flow_results=[self._make_flow_result(int(g)) for g in members],
-                deadline=rec.coflow.deadline,
+                deadline=self._cf_deadlines[s],
             )
             if tr.enabled:
                 tr.emit(boundary, "completion", coflow_id=cr.coflow_id)

@@ -17,6 +17,17 @@ Two concrete sources:
 
 Both expose ``state()``/``seek(state)`` so a checkpoint can record a
 compact cursor and resume the stream exactly where it left off.
+
+Sources also vend whole *admission blocks*: :meth:`ArrivalSource.
+pop_block` drains every coflow inside a horizon (subject to a flow
+budget) into one :class:`~repro.core.ingest.CoflowBlock`.  The concrete
+sources override it to emit raw columns — the synthetic generator fills
+columns straight from its rng draws, the JSONL reader parses records to
+columns via :func:`repro.traces.io.coflow_json_to_columns` — so the
+steady-state streaming path never constructs ``Flow``/``Coflow`` objects.
+Ids are reserved from the same global counters in the same per-coflow
+order, so a blocked stream is bit-identical (ids included) to the same
+stream popped one object at a time.
 """
 
 from __future__ import annotations
@@ -31,8 +42,10 @@ import numpy as np
 
 from repro.core.coflow import Coflow
 from repro.core.flow import Flow
+from repro.core.ingest import BlockBuilder, CoflowBlock
 from repro.errors import ConfigurationError
 from repro.traces.distributions import SizeDistribution, spark_flow_sizes
+from repro.traces.io import coflow_json_to_columns
 
 _MODES = ("steady", "bursty", "diurnal")
 
@@ -180,6 +193,25 @@ class ArrivalSource:
             raise ConfigurationError("seek() requires a fresh source")
         self._seek_cursor(state)
 
+    def pop_block(
+        self, horizon: float, flow_budget: Optional[int] = None
+    ) -> Optional[CoflowBlock]:
+        """Drain every coflow with ``arrival <= horizon`` into one block.
+
+        The flow budget is checked *before* each pop, so the last coflow
+        may overshoot it — exactly the driver's legacy admission rule.
+        Returns ``None`` when nothing is due.  The base implementation
+        pops objects; concrete sources override it to fill raw columns
+        without materializing ``Flow``/``Coflow`` instances.
+        """
+        builder = BlockBuilder()
+        while flow_budget is None or builder.n_flows < flow_budget:
+            t = self.peek()
+            if t is None or t > horizon:
+                break
+            builder.add_coflow(self.pop())
+        return builder.build()
+
 
 class SyntheticSource(ArrivalSource):
     """Seeded unbounded generator of coflows (see :class:`SourceSpec`)."""
@@ -223,7 +255,8 @@ class SyntheticSource(ArrivalSource):
         inst = s.rate * (1.0 + s.depth * math.sin(2.0 * math.pi * self._clock / s.period))
         return float(self._rng.exponential(1.0 / max(inst, s.rate * (1.0 - s.depth) * 0.5)))
 
-    def _next(self) -> Optional[Coflow]:
+    def _next_raw(self) -> Optional[Dict[str, Any]]:
+        """Draw the next coflow as raw columns (rng consumed, no ids drawn)."""
         s = self.spec
         if s.limit is not None and self._count >= s.limit:
             return None
@@ -246,18 +279,72 @@ class SyntheticSource(ArrivalSource):
         srcs = rng.integers(0, s.num_ports, size=w)
         dsts = rng.integers(0, s.num_ports, size=w)
         compressible = rng.random(w) < s.compressible_fraction
+        raw = {
+            "arrival": self._clock,
+            "label": f"cf{self._count}",
+            "src": srcs,
+            "dst": dsts,
+            "size": sizes,
+            "compressible": compressible,
+        }
+        self._count += 1
+        return raw
+
+    @staticmethod
+    def _materialize(raw: Dict[str, Any]) -> Coflow:
+        """Build the coflow object for one raw draw (ids drawn here, in
+        the same order the columnar path reserves them: flows, then the
+        coflow)."""
+        w = int(raw["src"].size)
         flows = [
             Flow(
-                src=int(srcs[j]),
-                dst=int(dsts[j]),
-                size=float(sizes[j]),
-                compressible=bool(compressible[j]),
+                src=int(raw["src"][j]),
+                dst=int(raw["dst"][j]),
+                size=float(raw["size"][j]),
+                compressible=bool(raw["compressible"][j]),
             )
             for j in range(w)
         ]
-        cf = Coflow(flows, arrival=self._clock, label=f"cf{self._count}")
-        self._count += 1
-        return cf
+        return Coflow(flows, arrival=raw["arrival"], label=raw["label"])
+
+    def _next(self) -> Optional[Coflow]:
+        raw = self._next_raw()
+        return None if raw is None else self._materialize(raw)
+
+    def pop_block(
+        self, horizon: float, flow_budget: Optional[int] = None
+    ) -> Optional[CoflowBlock]:
+        builder = BlockBuilder()
+        while flow_budget is None or builder.n_flows < flow_budget:
+            if self._buffered is not None:
+                # a peek() lookahead already materialized this coflow
+                if self._buffered.arrival > horizon:
+                    break
+                builder.add_coflow(self.pop())
+                continue
+            if self._exhausted:
+                break
+            cur = self._cursor()
+            raw = self._next_raw()
+            if raw is None:
+                self._exhausted = True
+                self._pre_cursor = None
+                break
+            if raw["arrival"] > horizon:
+                # overshoot: stash it for the next tick (materialized, so
+                # peek()/state() keep their object-buffer contract)
+                self._buffered = self._materialize(raw)
+                self._pre_cursor = cur
+                break
+            builder.add_columns(
+                raw["arrival"],
+                raw["src"],
+                raw["dst"],
+                raw["size"],
+                raw["compressible"],
+                label=raw["label"],
+            )
+        return builder.build()
 
     def _cursor(self) -> Dict[str, Any]:
         return {
@@ -352,7 +439,8 @@ class JsonlSource(ArrivalSource):
             self._fh = open(path, "r", encoding="utf-8")
             self._owns = True
 
-    def _next(self) -> Optional[Coflow]:
+    def _next_record(self) -> Optional[Dict[str, Any]]:
+        """Parse the next non-blank line into a record dict (no objects)."""
         if self._fh is None:
             return None
         if self.limit is not None and self._lines >= self.limit:
@@ -364,20 +452,72 @@ class JsonlSource(ArrivalSource):
                 continue
             self._lines += 1
             try:
-                cf = coflow_from_json(json.loads(line))
+                rec = json.loads(line)
+                arrival = float(rec.get("arrival", 0.0))
             except (ValueError, KeyError, TypeError) as exc:
                 raise ConfigurationError(
                     f"bad JSONL coflow on line {self._lines} of {self.path}: {exc}"
                 ) from exc
-            if cf.arrival < self._last_arrival:
+            if arrival < self._last_arrival:
                 raise ConfigurationError(
                     f"JSONL arrivals must be non-decreasing; line {self._lines} "
-                    f"has arrival {cf.arrival} after {self._last_arrival}"
+                    f"has arrival {arrival} after {self._last_arrival}"
                 )
-            self._last_arrival = cf.arrival
-            return cf
+            self._last_arrival = arrival
+            return rec
         self._close()
         return None
+
+    def _next(self) -> Optional[Coflow]:
+        rec = self._next_record()
+        if rec is None:
+            return None
+        try:
+            return coflow_from_json(rec)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"bad JSONL coflow on line {self._lines} of {self.path}: {exc}"
+            ) from exc
+
+    def pop_block(
+        self, horizon: float, flow_budget: Optional[int] = None
+    ) -> Optional[CoflowBlock]:
+        builder = BlockBuilder()
+        while flow_budget is None or builder.n_flows < flow_budget:
+            if self._buffered is not None:
+                if self._buffered.arrival > horizon:
+                    break
+                builder.add_coflow(self.pop())
+                continue
+            if self._exhausted:
+                break
+            cur = self._cursor()
+            rec = self._next_record()
+            if rec is None:
+                self._exhausted = True
+                self._pre_cursor = None
+                break
+            try:
+                cols = coflow_json_to_columns(rec)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"bad JSONL coflow on line {self._lines} of {self.path}: {exc}"
+                ) from exc
+            if cols["arrival"] > horizon:
+                self._buffered = coflow_from_json(rec)
+                self._pre_cursor = cur
+                break
+            builder.add_columns(
+                cols["arrival"],
+                cols["src"],
+                cols["dst"],
+                cols["size"],
+                cols["compressible"],
+                override=cols["override"],
+                label=cols["label"],
+                deadline=cols["deadline"],
+            )
+        return builder.build()
 
     def _close(self) -> None:
         if self._fh is not None and self._owns:

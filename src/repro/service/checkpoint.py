@@ -3,16 +3,18 @@
 Format (``repro-checkpoint-v1``): one ``.npz`` holding
 
 * every numeric engine column (``flow__*`` / ``cf__*`` keys) plus the
-  index arrays (active set, retired rows, closed slots) and per-port
-  byte/capacity vectors — stored as plain arrays, loadable with
+  index arrays (active set, retired rows, closed slots), the columnar
+  arrival-calendar entries (``cal_time``/``cal_seq``/``cal_slot``) and
+  per-port byte/capacity vectors — stored as plain arrays, loadable with
   ``allow_pickle=False``;
 * one ``__pickle__`` entry (a ``uint8`` blob) carrying the Python-object
-  side: the scheduler instance, the live :class:`~repro.core.coflow.
-  Coflow` dataclasses, labels/deadlines, the
+  side: the scheduler instance, labels/deadlines, the
   :class:`~repro.analysis.harness.ExperimentSetup` and
   :class:`~repro.service.arrivals.SourceSpec`, the arrival-source
   cursor, the driver's streaming stats, and the global flow/coflow id
-  watermarks.
+  watermarks.  (Checkpoints written by older versions also carried the
+  live :class:`~repro.core.coflow.Coflow` dataclasses; the engine's
+  columns are now sufficient, and restore still accepts both layouts.)
 
 Restore (:func:`restore_driver`) builds a fresh simulator from the
 pickled setup + scheduler, loads the columns with
@@ -53,6 +55,9 @@ __all__ = [
 CHECKPOINT_SCHEMA = "repro-checkpoint-v1"
 
 #: export_state keys stored as top-level npz arrays (not in the blob).
+#: ``cal_*`` are the columnar arrival-calendar entries (time/seq/slot);
+#: checkpoints written before they existed restore via the engine's
+#: slot-order calendar rebuild (`import_state` handles their absence).
 _ARRAY_KEYS = (
     "active",
     "done_flows",
@@ -61,6 +66,9 @@ _ARRAY_KEYS = (
     "egress_bytes",
     "ingress_capacity",
     "egress_capacity",
+    "cal_time",
+    "cal_seq",
+    "cal_slot",
 )
 
 
@@ -122,7 +130,7 @@ def save_checkpoint(
         "cap_events": state["cap_events"],
         "cf_labels": state["cf_labels"],
         "cf_deadlines": state["cf_deadlines"],
-        "coflows": state["coflows"],
+        "coflows": state.get("coflows"),
         "scheduler": state["scheduler"],
         "setup": setup,
         "source_spec": source_spec,

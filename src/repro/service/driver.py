@@ -4,13 +4,17 @@ The driver owns one :class:`~repro.core.simulator.SliceSimulator` and one
 :class:`~repro.service.arrivals.ArrivalSource` and advances them together
 in fixed wall-of-simulated-time *ticks*:
 
-1. **Admit** — pop every coflow arriving inside the next tick horizon and
-   ``submit_many`` it, subject to a bounded in-flight backlog
-   (``max_in_flight`` flows).  When the backlog is full, admission stops;
-   coflows whose arrival time has passed by the time they are finally
-   admitted are *restamped* to the current simulated time (a queueing
-   delay at the master — the paper's online model never schedules work
-   into the past).
+1. **Admit** — pop one :class:`~repro.core.ingest.CoflowBlock` of every
+   coflow arriving inside the next tick horizon and ``submit_block`` it,
+   subject to a bounded in-flight backlog (``max_in_flight`` flows).
+   When the backlog is full, admission stops; coflows whose arrival time
+   has passed by the time they are finally admitted are *restamped* to
+   the current simulated time (a queueing delay at the master — the
+   paper's online model never schedules work into the past).  The whole
+   handoff is columnar: the source fills block columns, restamping is a
+   vectorized mask, and the engine bulk-writes the block into its
+   flow/coflow columns (``block_admission=False`` keeps the legacy
+   per-object loop for equivalence testing).
 2. **Tick** — ``run(until=now + tick)``: the engine advances, firing
    decision points at slice boundaries, and parks at the horizon.
 3. **Drain** — every ``drain_every`` ticks, :meth:`SliceSimulator.
@@ -129,6 +133,10 @@ class StreamDriver:
         :class:`~repro.analysis.harness.ExperimentSetup` and
         :class:`~repro.service.arrivals.SourceSpec` that built ``sim``
         and ``source``, and the policy name.
+    block_admission:
+        Admit via the block-columnar fast path (default).  ``False``
+        restores the legacy pop-one-object/``submit_many`` loop — the two
+        are bit-identical; the switch exists for A/B equivalence tests.
     """
 
     def __init__(
@@ -146,6 +154,7 @@ class StreamDriver:
         setup=None,
         source_spec: Optional[SourceSpec] = None,
         policy: str = "",
+        block_admission: bool = True,
     ) -> None:
         if tick <= 0:
             raise ConfigurationError(f"tick must be positive, got {tick}")
@@ -167,6 +176,7 @@ class StreamDriver:
         self.setup = setup
         self.source_spec = source_spec
         self.policy = policy or getattr(sim.scheduler, "name", "")
+        self.block_admission = bool(block_admission)
         self.stats = StreamStats()
         self.shards: List[ResultStore] = []
         self.shard_paths: List[Path] = []
@@ -187,31 +197,45 @@ class StreamDriver:
     # ------------------------------------------------------------ the loop
     def _admit(self, horizon: float, max_flows: Optional[int]) -> int:
         sim = self.sim
+        budget = self.max_in_flight - self.in_flight
+        if max_flows is not None:
+            budget = min(budget, max_flows - self.stats.flows_submitted)
+        if budget <= 0:
+            return 0
+        if self.block_admission:
+            block = self.source.pop_block(horizon, budget)
+            if block is None:
+                return 0
+            # Backpressure (or a resumed checkpoint) delayed admission
+            # past the nominal arrival: restamp to "now", the moment
+            # the master actually learns about the coflow.
+            late = block.arrival < sim.now - _time_eps(sim.now)
+            n_late = int(np.count_nonzero(late))
+            if n_late:
+                block.restamp(late, sim.now)
+                self.stats.restamped += n_late
+            sim.submit_block(block)
+            self.stats.coflows_submitted += block.n_coflows
+            self.stats.flows_submitted += block.n_flows
+            return block.n_coflows
         batch = []
-        while True:
-            if self.in_flight + sum(len(c) for c in batch) >= self.max_in_flight:
-                break
-            if max_flows is not None and (
-                self.stats.flows_submitted + sum(len(c) for c in batch) >= max_flows
-            ):
-                break
+        n_flows = 0
+        while n_flows < budget:
             t = self.source.peek()
             if t is None or t > horizon:
                 break
             cf = self.source.pop()
             if cf.arrival < sim.now - _time_eps(sim.now):
-                # Backpressure (or a resumed checkpoint) delayed admission
-                # past the nominal arrival: restamp to "now", the moment
-                # the master actually learns about the coflow.
                 cf.arrival = sim.now
                 for f in cf.flows:
                     f.arrival = sim.now
                 self.stats.restamped += 1
             batch.append(cf)
+            n_flows += len(cf)
         if batch:
             sim.submit_many(batch)
             self.stats.coflows_submitted += len(batch)
-            self.stats.flows_submitted += sum(len(c) for c in batch)
+            self.stats.flows_submitted += n_flows
         return len(batch)
 
     def _drain(self) -> None:

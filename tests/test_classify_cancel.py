@@ -132,8 +132,8 @@ class TestCancellation:
         sim.run(until=0.5)
         sim.cancel_coflow(active.coflow_id)
         sim.cancel_coflow(pending.coflow_id)
-        g_active = sim._coflows[active.coflow_id].global_idx[0]
-        g_pending = sim._coflows[pending.coflow_id].global_idx[0]
+        g_active = int(sim._cf_first[sim._coflows[active.coflow_id]])
+        g_pending = int(sim._cf_first[sim._coflows[pending.coflow_id]])
         assert sim._finish[g_active] == pytest.approx(0.5)
         assert sim._finish_phys[g_active] == pytest.approx(0.5)
         # the never-started flow gets start == finish == cancellation time

@@ -1,0 +1,261 @@
+"""Block-columnar ingest equivalence and calendar checkpointing.
+
+The columnar fast path — ``CoflowBlock`` batches through
+``submit_block`` and the :class:`~repro.core.events.ArrivalCalendar` —
+must be *bit-identical* to scalar per-coflow submission: same tie
+breaking (submission order), same activation spans, same results.  These
+properties pin that across out-of-order batches, tied arrivals,
+cancel-before-arrival and ``run(until)`` resumes mid-batch, plus the
+checkpoint round trip of a populated calendar (old checkpoints without
+calendar arrays still restore via the slot-order rebuild).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ExperimentSetup
+from repro.core.coflow import Coflow
+from repro.core.flow import Flow
+from repro.core.ingest import BlockBuilder, CoflowBlock
+from repro.core.simulator import SliceSimulator
+from repro.errors import ConfigurationError
+from repro.fabric.bigswitch import BigSwitch
+from repro.schedulers import make_scheduler
+from repro.service.checkpoint import (
+    load_checkpoint,
+    restore_simulator,
+    save_checkpoint,
+)
+from repro.units import mbps
+
+N_PORTS = 4
+SLICE = 0.05
+
+
+@st.composite
+def workloads(draw, max_coflows=6):
+    """Workloads with deliberate arrival ties (increments include 0.0)."""
+    n_coflows = draw(st.integers(1, max_coflows))
+    coflows = []
+    t = 0.0
+    for _ in range(n_coflows):
+        width = draw(st.integers(1, 3))
+        flows = [
+            Flow(
+                src=draw(st.integers(0, N_PORTS - 1)),
+                dst=draw(st.integers(0, N_PORTS - 1)),
+                size=draw(st.floats(0.05, 10.0)),
+                compressible=draw(st.booleans()),
+            )
+            for _ in range(width)
+        ]
+        coflows.append(Coflow(flows, arrival=t))
+        # 0.0 forces ties; 0.05 lands exactly on the slice grid.
+        t += draw(st.sampled_from([0.0, 0.0, 0.05, 0.17, 1.0]))
+    return coflows
+
+
+def _sim(policy="sebf"):
+    return SliceSimulator(
+        BigSwitch(N_PORTS, bandwidth=1.0),
+        make_scheduler(policy),
+        slice_len=SLICE,
+    )
+
+
+def _assert_results_identical(a, b):
+    assert a.makespan == b.makespan
+    assert a.decision_points == b.decision_points
+    assert list(a.flow_results) == list(b.flow_results)
+    assert list(a.coflow_results) == list(b.coflow_results)
+
+
+@given(workloads(), st.sampled_from(["sebf", "fvdf-flow"]))
+@settings(max_examples=60, deadline=None)
+def test_batched_equals_scalar_submit(coflows, policy):
+    """One submit_many block == per-coflow submit, bit for bit."""
+    batched, scalar = _sim(policy), _sim(policy)
+    batched.submit_many(coflows)
+    for c in coflows:
+        scalar.submit(c)
+    _assert_results_identical(batched.run(), scalar.run())
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_batch_split_points_do_not_matter(data):
+    """Any batching of the same submission order is equivalent: the
+    calendar breaks arrival ties by submission order, not batch shape."""
+    coflows = data.draw(workloads())
+    cut = data.draw(st.integers(0, len(coflows)), label="cut")
+    whole, split = _sim(), _sim()
+    whole.submit_many(coflows)
+    split.submit_many(coflows[:cut])
+    split.submit_many(coflows[cut:])
+    _assert_results_identical(whole.run(), split.run())
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_run_until_resume_mid_batch(data):
+    """run(until) with a second batch submitted at the pause point is
+    identical between batched and scalar ingest."""
+    first = data.draw(workloads(max_coflows=5))
+    late = data.draw(workloads(max_coflows=3))
+    horizon = data.draw(st.sampled_from([0.05, 0.25, 1.0]), label="horizon")
+    for c in late:
+        c.arrival += horizon + SLICE  # strictly after the pause point
+
+    batched, scalar = _sim(), _sim()
+    batched.submit_many(first)
+    for c in first:
+        scalar.submit(c)
+    batched.run(until=horizon)
+    scalar.run(until=horizon)
+    batched.submit_many(late)
+    for c in late:
+        scalar.submit(c)
+    _assert_results_identical(batched.run(), scalar.run())
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_cancel_before_arrival_batched_vs_scalar(data):
+    """Cancelling a not-yet-arrived coflow (a lazy calendar discard on the
+    columnar path) leaves batched and scalar engines identical."""
+    coflows = data.draw(workloads())
+    victim = Coflow(
+        [Flow(0, 1, 5.0)], arrival=coflows[-1].arrival + 10.0, label="victim"
+    )
+    coflows = coflows + [victim]
+    batched, scalar = _sim(), _sim()
+    batched.submit_many(coflows)
+    for c in coflows:
+        scalar.submit(c)
+    pause = data.draw(st.sampled_from([0.0, 0.05, 0.5]), label="pause")
+    batched.run(until=pause)
+    scalar.run(until=pause)
+    batched.cancel_coflow(victim.coflow_id)
+    scalar.cancel_coflow(victim.coflow_id)
+    _assert_results_identical(batched.run(), scalar.run())
+
+
+class TestSubmitBlockValidation:
+    def test_raw_columns_get_constructor_invariants(self):
+        builder = BlockBuilder()
+        builder.add_columns(
+            0.0,
+            np.array([0]),
+            np.array([1]),
+            np.array([-3.0]),  # invalid size
+            np.array([True]),
+        )
+        with pytest.raises(ConfigurationError, match="size must be positive"):
+            _sim().submit_block(builder.build())
+
+    def test_duplicate_submission_rolls_back(self):
+        sim = _sim()
+        cf = Coflow([Flow(0, 1, 1.0)])
+        sim.submit(cf)
+        with pytest.raises(ConfigurationError, match="twice"):
+            sim.submit_block(CoflowBlock.from_coflows([cf]))
+        # the failed block left no partial state behind
+        assert sim._n_cf == 1 and len(sim._cf_labels) == 1
+        sim.run()
+        assert len(sim.result().coflow_results) == 1
+
+    def test_block_without_objects_runs(self):
+        builder = BlockBuilder()
+        builder.add_columns(
+            0.0,
+            np.array([0, 1]),
+            np.array([1, 2]),
+            np.array([2.0, 3.0]),
+            np.array([True, False]),
+            label="raw",
+        )
+        sim = _sim()
+        sim.submit_block(builder.build())
+        res = sim.run()
+        assert len(res.flow_results) == 2
+        assert res.coflow_results[0].label == "raw"
+
+
+# ------------------------------------------------------- checkpointing
+SETUP = ExperimentSetup(num_ports=N_PORTS, bandwidth=mbps(100), slice_len=0.01)
+
+
+def _checkpoint_workload():
+    """A workload whose tail is still in the calendar at checkpoint time."""
+    rng = np.random.default_rng(11)
+    coflows = []
+    t = 0.0
+    for i in range(12):
+        w = int(rng.integers(1, 4))
+        flows = [
+            Flow(
+                src=int(rng.integers(0, N_PORTS)),
+                dst=int(rng.integers(0, N_PORTS)),
+                size=float(rng.uniform(5e4, 4e5)),
+                compressible=bool(rng.random() < 0.7),
+            )
+            for _ in range(w)
+        ]
+        coflows.append(Coflow(flows, arrival=t, label=f"ck{i}"))
+        t += float(rng.uniform(0.0, 0.02))
+    return coflows
+
+
+class TestCalendarCheckpoint:
+    def _paused_sim(self):
+        sim = SETUP.build_simulator(make_scheduler("fvdf-flow"))
+        sim.submit_many(_checkpoint_workload())
+        sim.run(until=0.02)
+        assert len(sim._calendar) > 0, "test needs pending arrivals"
+        return sim
+
+    def test_roundtrip_with_populated_calendar(self, tmp_path):
+        sim = self._paused_sim()
+        path = save_checkpoint(tmp_path / "cal.npz", sim, setup=SETUP)
+        with np.load(path, allow_pickle=False) as data:
+            assert data["cal_time"].size > 0
+            assert {"cal_time", "cal_seq", "cal_slot"} <= set(data.files)
+        restored = restore_simulator(load_checkpoint(path))
+        assert len(restored._calendar) == len(sim._calendar)
+        _assert_results_identical(sim.run(), restored.run())
+
+    def test_legacy_checkpoint_without_calendar_arrays(self, tmp_path):
+        """Checkpoints from before the columnar calendar (no ``cal_*``
+        arrays, no ``flow__override`` column) restore via the slot-order
+        calendar rebuild and an all-default override column."""
+        sim = self._paused_sim()
+        path = save_checkpoint(tmp_path / "new.npz", sim, setup=SETUP)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k].copy() for k in data.files}
+        for key in ("cal_time", "cal_seq", "cal_slot", "flow___override"):
+            arrays.pop(key)
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **arrays)
+        restored = restore_simulator(load_checkpoint(legacy))
+        assert len(restored._calendar) == len(sim._calendar)
+        _assert_results_identical(sim.run(), restored.run())
+
+    def test_legacy_state_with_coflow_objects(self):
+        """import_state still accepts the old ``coflows`` object list."""
+        import pickle
+
+        sim = self._paused_sim()
+        state = sim.export_state()
+        assert "coflows" not in state
+        state = dict(state)
+        for key in ("cal_time", "cal_seq", "cal_slot"):
+            state.pop(key)
+        # what a legacy export carried: the live Coflow objects per slot
+        state["coflows"] = list(sim._cf_coflows)
+        state["scheduler"] = pickle.loads(pickle.dumps(state["scheduler"]))
+        other = SETUP.build_simulator(state["scheduler"])
+        other.import_state(state)
+        assert other._cf_coflows[0] is sim._cf_coflows[0]
+        _assert_results_identical(sim.run(), other.run())
