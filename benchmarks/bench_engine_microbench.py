@@ -332,6 +332,75 @@ def test_columnar_ingest_cuts_submit_share():
     )
 
 
+def test_telemetry_plane_overhead_under_5pct():
+    """The live telemetry plane must cost the streaming loop ~nothing.
+
+    Same best-of-N discipline as the disabled-tracing guard, but over
+    the streaming service: an identical bounded stream driven with (a)
+    no plane and (b) a :class:`~repro.obs.exposition.TelemetryPlane`
+    attached *and serving HTTP* on an ephemeral port.  The plane's whole
+    design is once-per-tick instrument updates plus snapshot-on-read —
+    the admission loop itself takes no locks and does nothing per flow —
+    so the enabled arm must stay within 5 % of the plane-off arm.  Also
+    asserts the other half of the contract: a plane-off driver registers
+    zero ``stream.*`` instruments at all.
+    """
+    from repro.obs.exposition import TelemetryPlane
+    from repro.schedulers import make_scheduler
+    from repro.service import SourceSpec, StreamDriver
+    from repro.traces.distributions import ConstantSize
+    from repro.units import KB
+
+    spec = SourceSpec(
+        rate=500.0, num_ports=8, width=(1, 3),
+        size_dist=ConstantSize(200 * KB), seed=9, limit=5_000,
+    )
+    setup = ExperimentSetup(num_ports=8, bandwidth=mbps(500), slice_len=0.05)
+
+    def one(with_plane):
+        sim = setup.build_simulator(make_scheduler("fvdf-flow"))
+        driver = StreamDriver(
+            sim, spec.build(), tick=0.5, max_in_flight=2_000,
+            setup=setup, source_spec=spec,
+        )
+        plane = None
+        if with_plane:
+            plane = TelemetryPlane(driver)
+            plane.start(0)
+        try:
+            # Time the streaming loop only: stop() deliberately sits
+            # outside the window (it blocks on the server's poll loop,
+            # which is shutdown latency, not per-tick overhead).
+            t0 = time.perf_counter()
+            driver.run()
+            wall = time.perf_counter() - t0
+        finally:
+            if plane is not None:
+                plane.stop()
+        return wall, driver
+
+    one(False)  # warm-up
+    # Interleave the arms so clock drift / container jitter lands on
+    # both equally, then compare best-of-N.
+    baseline = enabled = float("inf")
+    plain_driver = None
+    for _ in range(4):
+        wall, plain_driver = one(False)
+        baseline = min(baseline, wall)
+        wall, _ = one(True)
+        enabled = min(enabled, wall)
+    # Plane off: no stream.* instrument may ever have been created.
+    assert not any(
+        n.startswith("stream.")
+        for n in plain_driver.sim.obs.metrics.names()
+    ), "a plane-off driver registered stream.* instruments"
+    overhead = enabled / baseline - 1.0
+    assert overhead < 0.05, (
+        f"telemetry-plane run is {overhead:.1%} slower than the plane-off "
+        f"stream ({enabled:.4f}s vs {baseline:.4f}s)"
+    )
+
+
 def test_incremental_view_overhead_under_5pct():
     """Incremental view maintenance must never cost more than regrouping.
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import platform
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -87,9 +87,18 @@ def _aggregate(snapshots) -> Dict[str, Any]:
 
 
 def build_report(
-    telemetry: RunTelemetry, grid: Dict[str, Any], label: str = ""
+    telemetry: RunTelemetry,
+    grid: Dict[str, Any],
+    label: str = "",
+    window: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Assemble the ``report.json`` payload from merged telemetry."""
+    """Assemble the ``report.json`` payload from merged telemetry.
+
+    ``window`` is a :meth:`repro.obs.window.RollingWindow.snapshot`
+    from a streamed run's telemetry plane; pooled sweeps have no live
+    window, so the key is an explicit ``null`` (rendered ``n/a``) —
+    never absent, never zeros.
+    """
     per_policy = {
         policy: _aggregate(snaps)
         for policy, snaps in sorted(telemetry.by_policy().items())
@@ -128,6 +137,7 @@ def build_report(
         "totals": telemetry.merged_metrics().dump(),
         "policies": per_policy,
         "workers_detail": workers_detail,
+        "window": window,
     }
 
 
@@ -196,6 +206,25 @@ def render_report(report: Dict[str, Any]) -> str:
             if cache["corrupt_dropped"] else ")"
         )
     )
+    window = report.get("window")
+    if window is None:
+        lines.append("live window: n/a (telemetry plane off)")
+    else:
+        rates = window.get("rates_per_s") or {}
+        tick_wall = window.get("tick_wall_s") or {}
+
+        def rate(key):
+            v = rates.get(key)
+            return "n/a" if v is None else f"{v:,.1f}/s"
+
+        lines.append(
+            f"live window ({window.get('ticks', 0)} ticks, "
+            f"{window.get('span_wall_s', 0.0):.1f}s): "
+            f"admitted {rate('flows_admitted')}, "
+            f"retired {rate('flows_retired')}, "
+            f"restamped {rate('restamped')}, "
+            f"tick p95 {tick_wall.get('p95', 0.0) * 1e3:.1f}ms"
+        )
     return "\n".join(lines)
 
 

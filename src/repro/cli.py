@@ -43,8 +43,17 @@ Subcommands
     are admitted tick by tick under bounded in-flight backpressure, and
     retired results drain to ``.npz`` shards so memory stays bounded.
     ``--checkpoint``/``--resume`` snapshot and restore the live service;
-    ``--smoke`` is the CI checkpoint/restore identity check and
-    ``--bench`` the tracked ``BENCH_stream.json`` 1M-flow replay.
+    ``--metrics-port N`` starts the live telemetry plane (``/metrics``
+    Prometheus exposition, ``/snapshot`` JSON, ``/healthz``/``/readyz``
+    with a stall watchdog) on a daemon thread; ``--smoke`` is the CI
+    checkpoint/restore identity check (with ``--metrics-port`` it also
+    polls the plane mid-run) and ``--bench`` the tracked
+    ``BENCH_stream.json`` 1M-flow replay.
+``top``
+    Live terminal dashboard for a running ``repro serve
+    --metrics-port N`` (local or remote): polls ``/snapshot`` and
+    renders refreshing rate / backlog / tick-latency panels
+    (``--once`` prints a single frame and exits).
 
 Examples::
 
@@ -69,8 +78,12 @@ Examples::
     python -m repro serve --input trace.jsonl --spill-dir shards/
     python -m repro serve --ticks 50 --checkpoint svc.npz
     python -m repro serve --resume svc.npz
+    python -m repro serve --metrics-port 9090
     python -m repro serve --smoke
+    python -m repro serve --smoke --metrics-port 0
     python -m repro serve --bench --check
+    python -m repro top --port 9090
+    python -m repro top --url http://scheduler-host:9090 --once
 """
 
 from __future__ import annotations
@@ -78,7 +91,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -721,7 +734,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
             source_spec=spec,
             policy=args.policy,
         )
-    stats = driver.run(max_ticks=args.ticks, max_flows=args.flows)
+    plane = None
+    if args.metrics_port is not None:
+        from repro.obs.exposition import TelemetryPlane
+
+        plane = TelemetryPlane(driver, watchdog_s=args.watchdog)
+        port = plane.start(args.metrics_port)
+        print(
+            f"telemetry plane -> http://127.0.0.1:{port} "
+            f"(/metrics /snapshot /healthz /readyz; `repro top --port {port}`)"
+        )
+    try:
+        stats = driver.run(max_ticks=args.ticks, max_flows=args.flows)
+    finally:
+        if plane is not None:
+            plane.stop()
     rows = [
         ["coflows done", str(stats.coflows_done)],
         ["flows done", str(stats.flows_done)],
@@ -751,6 +778,55 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Path(args.report).write_text(_json.dumps(report, indent=2) + "\n")
         print(f"report written -> {args.report}")
     return 0
+
+
+def _smoke_run_with_plane(driver, args: argparse.Namespace,
+                          probe: Dict[str, Any]):
+    """Run a smoke leg with the telemetry plane attached, polling
+    ``/metrics``, ``/snapshot`` and ``/healthz`` from a second thread
+    while admission runs at full rate — the endpoints must answer
+    mid-run, not just after the stream drains."""
+    import json as _json
+    import threading
+    import urllib.request
+
+    from repro.obs.exposition import TelemetryPlane
+
+    plane = TelemetryPlane(driver, watchdog_s=args.watchdog)
+    port = plane.start(args.metrics_port)
+    base = f"http://127.0.0.1:{port}"
+    stop = threading.Event()
+
+    def poll():
+        while not stop.is_set():
+            try:
+                with urllib.request.urlopen(
+                    base + "/metrics", timeout=2
+                ) as r:
+                    probe["metrics"] = r.read().decode()
+                with urllib.request.urlopen(
+                    base + "/snapshot", timeout=2
+                ) as r:
+                    probe["snapshot"] = _json.loads(r.read().decode())
+                with urllib.request.urlopen(
+                    base + "/healthz", timeout=2
+                ) as r:
+                    probe["healthz"] = r.status
+                probe["polls"] = probe.get("polls", 0) + 1
+            except (OSError, ValueError):
+                pass  # plane still warming up; keep polling
+            stop.wait(0.02)
+
+    poller = threading.Thread(target=poll, daemon=True)
+    poller.start()
+    try:
+        stats = driver.run()
+    finally:
+        stop.set()
+        poller.join(timeout=5)
+        plane.stop()
+    probe["serving_after_stop"] = plane.serving
+    return stats
 
 
 def _serve_smoke(args: argparse.Namespace) -> int:
@@ -792,7 +868,11 @@ def _serve_smoke(args: argparse.Namespace) -> int:
         )
 
     a = fresh()
-    stats_a = a.run()
+    probe: Dict[str, Any] = {}
+    if args.metrics_port is not None:
+        stats_a = _smoke_run_with_plane(a, args, probe)
+    else:
+        stats_a = a.run()
     store_a = a.result_store()
 
     b = fresh()
@@ -840,16 +920,41 @@ def _serve_smoke(args: argparse.Namespace) -> int:
     mismatch = diff(store_b)
     mismatch_jsonl = diff(store_c)
     bounded = stats_a.peak_live_rows <= 4 * 2_000  # backlog-sized, not stream-sized
+    plane_ok = True
+    plane_note = ""
+    if args.metrics_port is not None:
+        snap = probe.get("snapshot") or {}
+        metrics_text = probe.get("metrics") or ""
+        plane_checks = {
+            "polled mid-run": probe.get("polls", 0) >= 1,
+            "exposition well-formed": (
+                "# TYPE repro_stream_in_flight gauge" in metrics_text
+                and "repro_stream_tick_wall_s_bucket{" in metrics_text
+                and 'le="+Inf"' in metrics_text
+            ),
+            "snapshot schema": snap.get("schema") == "repro-live-v1",
+            "healthz 200": probe.get("healthz") == 200,
+            "clean shutdown": not probe.get("serving_after_stop", True),
+        }
+        plane_ok = all(plane_checks.values())
+        plane_note = (
+            f" | plane ok: {plane_ok} ({probe.get('polls', 0)} polls)"
+        )
+        if not plane_ok:
+            failed = [k for k, v in plane_checks.items() if not v]
+            print(f"error: telemetry plane checks failed: {failed}",
+                  file=sys.stderr)
     print(
         f"serve smoke: {stats_a.flows_done} flows, {stats_a.coflows_done} "
         f"coflows | restamped {stats_a.restamped} | peak rows "
         f"{stats_a.peak_live_rows} (bounded: {bounded}) | resume at tick "
         f"{max(1, stats_a.ticks // 2)}/{stats_a.ticks} | identical: "
         f"{not mismatch} | jsonl replay identical: {not mismatch_jsonl}"
+        f"{plane_note}"
     )
     if mismatch or mismatch_jsonl or stats_a.flows_done != total_flows \
             or not bounded or stats_b.flows_done != stats_a.flows_done \
-            or stats_c.flows_done != stats_a.flows_done:
+            or stats_c.flows_done != stats_a.flows_done or not plane_ok:
         if mismatch:
             print(f"error: columns differ after restore: {mismatch}",
                   file=sys.stderr)
@@ -858,7 +963,7 @@ def _serve_smoke(args: argparse.Namespace) -> int:
                 f"error: columns differ on JSONL block replay: "
                 f"{mismatch_jsonl}", file=sys.stderr,
             )
-        if not (mismatch or mismatch_jsonl):
+        if not (mismatch or mismatch_jsonl or not plane_ok):
             print("error: smoke stream incomplete or unbounded", file=sys.stderr)
         return 1
     return 0
@@ -897,6 +1002,53 @@ def _serve_bench(args: argparse.Namespace) -> int:
             return 1
         print("stream check passed (throughput + bounded memory)")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live ANSI dashboard over a running ``serve --metrics-port``."""
+    import json as _json
+    import time as _time
+    import urllib.request
+
+    from repro.obs.exposition import render_dashboard
+
+    base = (args.url.rstrip("/") if args.url
+            else f"http://{args.host}:{args.port}")
+    color = not args.no_color
+
+    def fetch():
+        with urllib.request.urlopen(
+            base + "/snapshot", timeout=args.timeout
+        ) as r:
+            return _json.loads(r.read().decode())
+
+    if args.once:
+        try:
+            snap = fetch()
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot reach {base}/snapshot: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(render_dashboard(snap, color=color))
+        return 0
+
+    try:
+        while True:
+            try:
+                snap = fetch()
+            except (OSError, ValueError) as exc:
+                # Transient: the plane restarts with its driver on resume.
+                print(f"waiting for {base}/snapshot ... ({exc})")
+            else:
+                if color:
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(render_dashboard(snap, color=color))
+                if snap.get("finished"):
+                    print("stream finished; exiting")
+                    return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
@@ -1138,6 +1290,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from a checkpoint written by --checkpoint")
     p.add_argument("--report", default=None, metavar="JSON",
                    help="write a repro-report-v1 telemetry report here")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics, /snapshot, /healthz and /readyz on "
+                        "this port while running (0 = pick an ephemeral "
+                        "port; default: telemetry plane off)")
+    p.add_argument("--watchdog", type=float, default=10.0, metavar="SECONDS",
+                   help="with --metrics-port: /healthz turns 503 when no "
+                        "tick completed within this wall-clock window "
+                        "(default 10s)")
     p.add_argument("--smoke", action="store_true",
                    help="CI check: 10k-flow stream with a mid-stream "
                         "checkpoint/restore round trip (bit-identical)")
@@ -1152,6 +1312,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dry-run", action="store_true",
                    help="with --bench: do not append to the trajectory")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "top", help="live dashboard for a running `serve --metrics-port`"
+    )
+    p.add_argument("--url", default=None,
+                   help="base URL of the telemetry plane (overrides "
+                        "--host/--port), e.g. http://host:9090")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="telemetry plane host (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=9090,
+                   help="telemetry plane port (default 9090)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="refresh interval (default 1s)")
+    p.add_argument("--timeout", type=float, default=2.0, metavar="SECONDS",
+                   help="per-request timeout (default 2s)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no screen clear)")
+    p.add_argument("--no-color", action="store_true",
+                   help="plain-text rendering (no ANSI colors)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("cluster", help="HiBench cluster run with/without Swallow")
     p.add_argument("--scale", default="large", choices=["large", "huge", "gigantic"])

@@ -13,10 +13,22 @@ typed records without touching the hot paths when disabled:
   trace sink that accepts whole event batches as ndarray columns, with
   lossless decode back to the legacy record stream (the fast way to trace
   a million-flow replay — see ``docs/observability.md``);
-* :mod:`repro.obs.metrics` — counters, gauges and summary histograms
-  (decision latency, slices fast-forwarded per jump, bus traffic …);
+* :mod:`repro.obs.metrics` — counters, gauges and bucketed summary
+  histograms (decision latency, slices fast-forwarded per jump, bus
+  traffic …);
 * :mod:`repro.obs.profile` — wall-clock profiling of named sections
-  (``schedule`` and ``integrate`` hot paths).
+  (``schedule`` and ``integrate`` hot paths);
+* :mod:`repro.obs.window` — :class:`RollingWindow`, the fixed-capacity
+  ring of per-tick counter deltas behind the streaming service's live
+  rates (flows/s, bytes/s, restamps/s) and exact windowed tick-latency
+  percentiles;
+* :mod:`repro.obs.exposition` — the live telemetry plane: a stdlib
+  ``http.server`` daemon thread exposing ``/metrics`` (Prometheus text
+  exposition), ``/snapshot`` (``repro-live-v1`` JSON), ``/healthz`` and
+  ``/readyz`` for a running ``repro serve``, plus the ``repro top``
+  dashboard renderer.  Imported lazily (``from repro.obs.exposition
+  import TelemetryPlane``) so engine imports stay free of the HTTP
+  stack.
 
 The components are bundled in an :class:`Observability` object that the
 engine, the Swallow system layer and the cluster simulator all accept.  The
@@ -35,6 +47,7 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 from repro.obs.trace import NULL_TRACER, TraceRecord, Tracer
+from repro.obs.window import RollingWindow
 
 __all__ = [
     "Counter",
@@ -48,6 +61,7 @@ __all__ = [
     "NULL_TRACER",
     "Observability",
     "Profiler",
+    "RollingWindow",
     "TraceRecord",
     "Tracer",
 ]

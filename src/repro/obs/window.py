@@ -1,0 +1,167 @@
+"""Rolling-window rate aggregation for the streaming telemetry plane.
+
+The streaming service's :class:`~repro.service.driver.StreamStats` are
+*lifetime* aggregates: after an hour of serving, ``flows_done /
+wall_s`` tells you the average since boot, not whether admission is
+keeping up right now.  :class:`RollingWindow` closes that gap with O(1)
+memory per tick: each service tick contributes one sample — the tick's
+wall time plus the deltas of a set of cumulative counters — into a
+fixed-capacity ring, and :meth:`rates` divides the windowed deltas by
+the windowed wall time to report live per-second rates (flows/s
+admitted and retired, bytes/s sent vs. original, restamps/s,
+drain/spill cadence).
+
+Because the ring holds the raw per-tick wall times, the tick-latency
+percentiles reported by :meth:`tick_wall` are **exact over the window**
+(unlike the bucketed approximation a lifetime histogram gives) — the
+window is small by construction, so sorting it on read is fine.
+
+The window is deliberately single-writer: the driver thread pushes, any
+number of reader threads may call :meth:`snapshot`.  There is no lock on
+the write path — element writes are atomic under the GIL, so a reader
+racing a push sees at worst one tick's sample mid-replacement, which is
+display jitter, not corruption (snapshot-on-read: every derived dict is
+built fresh per call from the ring).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["RollingWindow", "STREAM_RATE_KEYS"]
+
+#: The cumulative counters the service driver samples every tick, in
+#: the order they appear in rate snapshots.  Values are deltas-per-
+#: second over the window.
+STREAM_RATE_KEYS: Tuple[str, ...] = (
+    "flows_admitted",
+    "coflows_admitted",
+    "flows_retired",
+    "coflows_retired",
+    "restamped",
+    "bytes_sent",
+    "bytes_original",
+    "drains",
+    "spills",
+)
+
+
+class RollingWindow:
+    """Fixed-capacity ring of per-tick deltas of cumulative counters.
+
+    Parameters
+    ----------
+    capacity:
+        Number of most-recent ticks the window spans.
+    keys:
+        The cumulative-counter names each sample must provide
+        (default :data:`STREAM_RATE_KEYS`).
+
+    Usage: :meth:`prime` once with the counters' current cumulative
+    values (the zero point), then :meth:`push` after every tick with
+    the tick's wall seconds and the new cumulative values; the window
+    stores only the deltas.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 120,
+        keys: Sequence[str] = STREAM_RATE_KEYS,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"window capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.keys = tuple(keys)
+        self._wall = [0.0] * self.capacity
+        self._deltas = {k: [0.0] * self.capacity for k in self.keys}
+        self._prev: Optional[Dict[str, float]] = None
+        self._count = 0  # total pushes ever (ring occupancy = min(count, cap))
+        self._head = 0  # next write slot
+
+    # ------------------------------------------------------------- writes
+    def prime(self, cumulative: Mapping[str, float]) -> None:
+        """Set the zero point: the counters' values before the first tick."""
+        self._prev = {k: float(cumulative.get(k, 0.0)) for k in self.keys}
+
+    def push(self, wall_s: float, cumulative: Mapping[str, float]) -> None:
+        """Record one tick: its wall seconds + new cumulative counters."""
+        if self._prev is None:
+            # Un-primed first push: the first sample defines the zero
+            # point, so its own deltas are measured from zero.
+            self._prev = {k: 0.0 for k in self.keys}
+        i = self._head
+        self._wall[i] = float(wall_s)
+        prev = self._prev
+        for k in self.keys:
+            cur = float(cumulative.get(k, 0.0))
+            self._deltas[k][i] = cur - prev[k]
+            prev[k] = cur
+        self._head = (i + 1) % self.capacity
+        self._count += 1
+
+    # ------------------------------------------------------------- reads
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    @property
+    def span_wall_s(self) -> float:
+        """Total wall seconds covered by the ticks in the window."""
+        n = len(self)
+        return float(sum(self._wall[:n])) if n else 0.0
+
+    def totals(self) -> Dict[str, float]:
+        """Windowed delta totals per key (not yet divided by time)."""
+        n = len(self)
+        return {k: float(sum(self._deltas[k][:n])) for k in self.keys}
+
+    def rates(self) -> Dict[str, Optional[float]]:
+        """Per-second rates over the window (``None`` before any tick
+        lands, or if the window spans zero wall time)."""
+        span = self.span_wall_s
+        if len(self) == 0 or span <= 0.0:
+            return {k: None for k in self.keys}
+        return {k: v / span for k, v in self.totals().items()}
+
+    def tick_wall(self) -> Dict[str, float]:
+        """Exact tick wall-time stats over the window: count, min, max,
+        mean, and exact p50/p95/p99 (the ring holds the raw samples)."""
+        n = len(self)
+        if n == 0:
+            return {
+                "count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        walls = sorted(self._wall[:n])
+
+        def pct(q: float) -> float:
+            # Nearest-rank on the sorted window.
+            idx = min(n - 1, max(0, int(round(q * (n - 1)))))
+            return walls[idx]
+
+        return {
+            "count": n,
+            "min": walls[0],
+            "max": walls[-1],
+            "mean": sum(walls) / n,
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "p99": pct(0.99),
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-able view: occupancy, span, rates, tick-wall stats,
+        and the window's traffic-reduction ratio (Swallow's live Eq. 3
+        view: 1 − sent/original over the window, ``None`` when no
+        original bytes moved)."""
+        totals = self.totals()
+        orig = totals.get("bytes_original", 0.0)
+        return {
+            "ticks": len(self),
+            "capacity": self.capacity,
+            "span_wall_s": self.span_wall_s,
+            "rates_per_s": self.rates(),
+            "tick_wall_s": self.tick_wall(),
+            "traffic_reduction": (
+                1.0 - totals.get("bytes_sent", 0.0) / orig if orig > 0 else None
+            ),
+        }

@@ -181,6 +181,11 @@ class StreamDriver:
         self.shards: List[ResultStore] = []
         self.shard_paths: List[Path] = []
         self._shard_seq = 0
+        #: live telemetry plane, set by TelemetryPlane(driver) — when
+        #: attached, every tick reports its wall time and counter deltas
+        #: (one plane.on_tick call per tick, nothing per flow); when
+        #: None, no stream.* instrument ever fires.
+        self._plane = None
         if self.spill_dir is not None:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
 
@@ -255,6 +260,8 @@ class StreamDriver:
 
     def tick_once(self, max_flows: Optional[int] = None) -> None:
         """One service tick: admit → run to horizon → maybe drain/checkpoint."""
+        plane = self._plane
+        t0 = time.perf_counter() if plane is not None else 0.0
         sim = self.sim
         horizon = sim.now + self.tick
         self._admit(horizon, max_flows)
@@ -271,6 +278,8 @@ class StreamDriver:
             and self.stats.ticks % self.checkpoint_every_ticks == 0
         ):
             self.checkpoint(self.checkpoint_path)
+        if plane is not None:
+            plane.on_tick(time.perf_counter() - t0)
 
     def run(
         self,
@@ -289,6 +298,7 @@ class StreamDriver:
         """
         t0 = time.perf_counter()
         ticks_done = 0
+        complete = False
         try:
             while True:
                 if max_ticks is not None and ticks_done >= max_ticks:
@@ -306,6 +316,7 @@ class StreamDriver:
                         self.tick_once(max_flows)
                         ticks_done += 1
                         continue
+                    complete = True
                     break
                 self.tick_once(max_flows)
                 ticks_done += 1
@@ -313,6 +324,10 @@ class StreamDriver:
             if self.drain_every:
                 self._drain()
             self.stats.wall_s += time.perf_counter() - t0
+            if complete and self._plane is not None:
+                # The stream is drained for good: keep /healthz green
+                # even after the watchdog interval passes tick-free.
+                self._plane.on_finish()
         return self.stats
 
     # -------------------------------------------------------- persistence
@@ -357,16 +372,26 @@ class StreamDriver:
 
         The single snapshot covers the whole stream so far; the ``grid``
         block records the serve configuration instead of a sweep grid.
+        The snapshot carries the *resolved* decision-kernel backend
+        (surfaced in ``policies.<name>.kernels`` exactly like pooled
+        sweeps), and the ``window`` block holds the telemetry plane's
+        rolling-window rates — an explicit ``null`` when no plane was
+        attached, matching the report schema's n/a convention.
         """
         from repro.analysis.report import build_report
+        from repro.core import kernels
         from repro.runner.telemetry import RunTelemetry, TelemetrySnapshot
 
+        kernel = kernels.resolved_name(
+            getattr(self.sim.scheduler, "kernel", None)
+        )
         snap = TelemetrySnapshot.capture(
             key="serve",
             policy=self.policy,
             obs=self.sim.obs,
             wall_s=self.stats.wall_s,
             cpu_s=time.process_time(),
+            kernel=kernel,
         )
         tele = RunTelemetry(
             snapshots=[snap], workers=1, wall_s=self.stats.wall_s, cells=1
@@ -381,8 +406,13 @@ class StreamDriver:
                 "drain_every": self.drain_every,
             },
             label=label,
+            window=(
+                self._plane.window.snapshot()
+                if self._plane is not None else None
+            ),
         )
         report["stream"] = self.stats.as_dict()
+        report["stream"]["kernel"] = kernel
         return report
 
 

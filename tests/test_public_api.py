@@ -14,7 +14,7 @@ SUBPACKAGES = [
 
 
 def test_version():
-    assert repro.__version__ == "1.6.0"
+    assert repro.__version__ == "1.7.0"
 
 
 @pytest.mark.parametrize("module", SUBPACKAGES)
