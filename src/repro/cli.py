@@ -925,12 +925,23 @@ def _serve_smoke(args: argparse.Namespace) -> int:
     if args.metrics_port is not None:
         snap = probe.get("snapshot") or {}
         metrics_text = probe.get("metrics") or ""
+        # Prometheus rejects a scrape wholesale on a duplicated sample
+        # (same name + labelset), so uniqueness is part of well-formed.
+        sample_keys = [
+            line.rsplit(" ", 1)[0]
+            for line in metrics_text.splitlines()
+            if line and not line.startswith("#")
+        ]
         plane_checks = {
             "polled mid-run": probe.get("polls", 0) >= 1,
             "exposition well-formed": (
                 "# TYPE repro_stream_in_flight gauge" in metrics_text
                 and "repro_stream_tick_wall_s_bucket{" in metrics_text
                 and 'le="+Inf"' in metrics_text
+            ),
+            "samples unique": (
+                len(sample_keys) > 0
+                and len(sample_keys) == len(set(sample_keys))
             ),
             "snapshot schema": snap.get("schema") == "repro-live-v1",
             "healthz 200": probe.get("healthz") == 200,

@@ -105,26 +105,40 @@ def render_prometheus(
     ``StreamStats.as_dict()``) emits ``<prefix>stream_<field>`` gauges,
     ``window`` (a ``RollingWindow.snapshot()``) emits
     ``<prefix>window_<key>_per_s`` rate gauges, and ``extra_gauges``
-    passes through verbatim (already-prefixed names are the caller's
-    job to avoid colliding).
+    passes through verbatim.
+
+    Each metric family is emitted at most once: the registry renders
+    first and later sections skip any name it already claimed (e.g. the
+    ``stream.ticks`` gauge vs. the ``StreamStats`` ``ticks`` field).  A
+    duplicated family makes Prometheus reject the whole scrape, so
+    first-writer-wins keeps the exposition valid.
     """
     lines = []
+    families: set = set()
 
     def sample(name: str, value: float, labels: str = "") -> None:
         lines.append(f"{name}{labels} {_prom_num(value)}")
+
+    def declare(pname: str, kind: str) -> bool:
+        if pname in families:
+            return False
+        families.add(pname)
+        lines.append(f"# TYPE {pname} {kind}")
+        return True
 
     if registry is not None and registry.enabled:
         for name in registry.names():
             inst = registry.get(name)
             pname = _prom_name(name, prefix)
             if isinstance(inst, Counter):
-                lines.append(f"# TYPE {pname}_total counter")
-                sample(f"{pname}_total", inst.value)
+                if declare(f"{pname}_total", "counter"):
+                    sample(f"{pname}_total", inst.value)
             elif isinstance(inst, Gauge):
-                lines.append(f"# TYPE {pname} gauge")
-                sample(pname, inst.value)
+                if declare(pname, "gauge"):
+                    sample(pname, inst.value)
             elif isinstance(inst, Histogram):
-                lines.append(f"# TYPE {pname} histogram")
+                if not declare(pname, "histogram"):
+                    continue
                 cum = 0
                 for bound, count in zip(inst.bounds, inst.buckets):
                     cum += count
@@ -139,8 +153,8 @@ def render_prometheus(
             if not isinstance(value, (int, float)):
                 continue
             pname = _prom_name(f"stream.{field}", prefix)
-            lines.append(f"# TYPE {pname} gauge")
-            sample(pname, float(value))
+            if declare(pname, "gauge"):
+                sample(pname, float(value))
     if window:
         rates = window.get("rates_per_s") or {}
         for key in STREAM_RATE_KEYS:
@@ -148,17 +162,17 @@ def render_prometheus(
             if rate is None:
                 continue
             pname = _prom_name(f"window.{key}", prefix) + "_per_s"
-            lines.append(f"# TYPE {pname} gauge")
-            sample(pname, rate)
+            if declare(pname, "gauge"):
+                sample(pname, rate)
         tr = window.get("traffic_reduction")
         if tr is not None:
             pname = _prom_name("window.traffic_reduction", prefix)
-            lines.append(f"# TYPE {pname} gauge")
-            sample(pname, tr)
+            if declare(pname, "gauge"):
+                sample(pname, tr)
     if extra_gauges:
         for name, value in extra_gauges.items():
-            lines.append(f"# TYPE {name} gauge")
-            sample(name, float(value))
+            if declare(name, "gauge"):
+                sample(name, float(value))
     return "\n".join(lines) + "\n"
 
 
@@ -426,8 +440,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "/readyz\n",
                     "text/plain; charset=utf-8",
                 )
-        except BrokenPipeError:  # scraper went away mid-write
-            pass
+        except OSError:  # scraper went away mid-write (broken pipe,
+            pass         # connection reset, ...) — never stderr chatter
 
 
 # --------------------------------------------------------------------------

@@ -252,6 +252,25 @@ class TestRenderPrometheus:
         # Keys whose windowed rate exists render; None rates never do.
         assert "repro_window_spills_per_s 0" in text
 
+    def test_registry_wins_stream_name_collisions(self):
+        # The stream.ticks gauge and the StreamStats `ticks` field both
+        # render as repro_stream_ticks; a duplicated family makes
+        # Prometheus reject the entire scrape, so the registry wins and
+        # the stream-dict copy is skipped.
+        reg = MetricsRegistry()
+        reg.gauge("stream.ticks").set(7)
+        text = render_prometheus(
+            reg, stream={"ticks": 7, "flows_done": 3},
+            extra_gauges={"repro_stream_flows_done": 99.0},
+        )
+        lines = text.splitlines()
+        assert lines.count("# TYPE repro_stream_ticks gauge") == 1
+        assert lines.count("repro_stream_ticks 7") == 1
+        assert "repro_stream_flows_done 3" in lines  # stream beat extras
+        assert "repro_stream_flows_done 99" not in lines
+        keys = [l.rsplit(" ", 1)[0] for l in lines if not l.startswith("#")]
+        assert len(keys) == len(set(keys))
+
     def test_empty_window_renders_no_rate_samples(self):
         text = render_prometheus(None, window=RollingWindow().snapshot())
         assert "_per_s" not in text
@@ -346,6 +365,14 @@ class TestTelemetryPlane:
             assert "# TYPE repro_stream_in_flight gauge" in text
             assert 'repro_stream_tick_wall_s_bucket{le="+Inf"}' in text
             assert "repro_ready 1" in text
+            # Valid exposition: every sample name+labelset appears once
+            # (a duplicate, e.g. repro_stream_ticks from both the gauge
+            # and the stats dict, fails the whole Prometheus scrape).
+            keys = [
+                l.rsplit(" ", 1)[0] for l in text.splitlines()
+                if l and not l.startswith("#")
+            ]
+            assert len(keys) == len(set(keys))
             with urllib.request.urlopen(base + "/snapshot", timeout=5) as r:
                 snap = json.loads(r.read().decode())
             assert snap["schema"] == "repro-live-v1"
